@@ -1,0 +1,94 @@
+"""E1 — logarithmic search complexity in the number of nodes.
+
+Paper §2: "Structured P2P overlays ... offer logarithmic search complexity in
+the number of nodes"; §2 cost model: "worst-case guarantees (almost all are
+logarithmic)".
+
+Sweep the network size from 16 to 1024 peers, run a fixed batch of key
+lookups, and report mean/p95 routing hops and messages.  The fitted slope of
+mean hops against log2(N) should be ≈ 0.5-1.5 hops per doubling (the oracle
+builder's fanout-4 references provide shortcuts, so the constant is below 1).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+import pytest
+
+from repro.bench import ResultTable, fit_log2_slope, mean, percentile
+from repro.pgrid import build_network, bulk_load, encode_string
+
+from conftest import emit
+
+SIZES = [16, 32, 64, 128, 256, 512, 1024]
+LOOKUPS_PER_SIZE = 150
+NUM_KEYS = 300
+
+
+def _words(count: int, seed: int) -> list[str]:
+    rng = random.Random(seed)
+    return [
+        "".join(rng.choice(string.ascii_lowercase) for _ in range(8))
+        for _ in range(count)
+    ]
+
+
+def _build(num_peers: int, seed: int = 1):
+    words = _words(NUM_KEYS, seed)
+    keys = [encode_string(w) for w in words]
+    pnet = build_network(
+        num_peers, replication=2, seed=seed, split_by="population"
+    )
+    bulk_load(pnet, [(k, w, w) for k, w in zip(keys, words)])
+    return pnet, words, keys
+
+
+def _measure(pnet, keys, lookups: int):
+    rng = random.Random(42)
+    hops, messages = [], []
+    for _ in range(lookups):
+        key = rng.choice(keys)
+        _entries, trace = pnet.lookup(key)
+        hops.append(float(trace.hops))
+        messages.append(float(trace.messages))
+    return hops, messages
+
+
+def test_e1_hops_grow_logarithmically(benchmark):
+    table = ResultTable(
+        "E1: lookup cost vs network size (paper: logarithmic guarantees)",
+        ["peers", "groups", "mean hops", "p95 hops", "mean msgs", "log2(N)"],
+    )
+    sizes, mean_hops = [], []
+    networks = {}
+    for size in SIZES:
+        pnet, _words_, keys = _build(size)
+        networks[size] = (pnet, keys)
+        hops, messages = _measure(pnet, keys, LOOKUPS_PER_SIZE)
+        sizes.append(size)
+        mean_hops.append(mean(hops))
+        import math
+
+        table.add_row(
+            size,
+            len(pnet.leaf_groups()),
+            mean(hops),
+            percentile(hops, 95),
+            mean(messages),
+            math.log2(size),
+        )
+    slope = fit_log2_slope(sizes, mean_hops)
+    table.add_row("slope", "", f"{slope:.3f} hops/doubling", "", "", "")
+    emit(table)
+
+    # The paper's headline guarantee: hop growth is logarithmic, i.e. a
+    # straight line against log2(N) with a small positive slope.
+    assert 0.2 <= slope <= 1.6, f"hop growth not logarithmic: slope={slope}"
+    # Absolute sanity: even at 1024 peers, lookups stay in single-digit hops.
+    assert mean_hops[-1] < 12
+
+    pnet, keys = networks[256]
+    rng = random.Random(7)
+    benchmark(lambda: pnet.lookup(rng.choice(keys)))

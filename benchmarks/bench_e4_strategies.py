@@ -1,0 +1,143 @@
+"""E4 — "several implementations of physical operators, each beneficial in
+special situations – which is captured by an appropriate cost model" (§3);
+demo script: "execute identical queries sequentially while influencing the
+integrated optimizer ... which will result in different performance results"
+(§4).
+
+One equi-join query is executed under all three physical join strategies
+while the *selectivity of the left side* sweeps from one row to the whole
+attribute.  Messages and simulated latency per strategy expose the
+crossovers; the last column shows what the cost-based optimizer picks when
+left alone, and the assertion checks it is never far from the best measured
+strategy.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import UniStore
+from repro.bench import ConferenceWorkload, ResultTable
+from repro.optimizer import PlannerConfig
+
+from conftest import emit
+
+STRATEGIES = ("ship", "index-nl", "rehash")
+
+
+@pytest.fixture(scope="module")
+def store():
+    unistore = UniStore.build(num_peers=128, replication=2, seed=404)
+    workload = ConferenceWorkload(
+        num_authors=120, num_publications=240, num_conferences=20, seed=404
+    )
+    workload.load_into(unistore)
+    return unistore
+
+
+def _join_query(age_low: int) -> str:
+    """Left side: authors with age >= age_low (sweeps selectivity);
+    right side: their num_of_pubs, probed/joined on the author OID."""
+    return (
+        f"SELECT ?n WHERE {{(?a,'age',?g) (?a,'num_of_pubs',?n) "
+        f"FILTER ?g >= {age_low}}}"
+    )
+
+
+def test_e4_join_strategy_crossover(benchmark, store):
+    table = ResultTable(
+        "E4: join strategies vs left-side selectivity (128 peers)",
+        ["left rows", "strategy", "traffic", "latency s", "optimizer picks"],
+    )
+    weights = dict(latency_weight=0.001, message_weight=1.0)  # traffic-bound regime
+    wins = {}
+    for age_low in (64, 60, 50, 24):  # max age is 65 -> 1..all rows
+        vql = _join_query(age_low)
+        left_rows = len(store.execute(
+            f"SELECT ?a WHERE {{(?a,'age',?g) FILTER ?g >= {age_low}}}",
+            mode="reference",
+        ).rows)
+        measured = {}
+        answers = {}
+        for strategy in STRATEGIES:
+            with store.pnet.net.frame() as frame:
+                result = store.execute(
+                    vql, config=PlannerConfig(join_strategy=strategy, **weights)
+                )
+            traffic = frame.messages + frame.bytes  # headers + payload units
+            measured[strategy] = (traffic, result.answer_time)
+            answers[strategy] = sorted(
+                tuple(sorted((k, repr(v)) for k, v in row.items()))
+                for row in result.rows
+            )
+        # All strategies must compute the same answer.
+        assert answers["ship"] == answers["index-nl"] == answers["rehash"]
+
+        auto = store.execute(vql, config=PlannerConfig(**weights))
+        chosen = _strategy_in(auto.plan)
+        wins[left_rows] = (measured, chosen)
+        for strategy in STRATEGIES:
+            traffic, latency = measured[strategy]
+            table.add_row(
+                left_rows,
+                strategy,
+                traffic,
+                latency,
+                chosen if strategy == chosen else "",
+            )
+    emit(table)
+
+    # Shape assertions: index-NL wins the traffic race for tiny left sides
+    # and loses it for the full scan (the crossover the paper's cost model
+    # exists to navigate).
+    small = min(wins)
+    large = max(wins)
+    small_measured, _ = wins[small]
+    large_measured, _ = wins[large]
+    assert small_measured["index-nl"][0] <= small_measured["ship"][0]
+    assert large_measured["index-nl"][0] >= large_measured["ship"][0]
+
+    # The optimizer's choice is near-optimal in measured traffic everywhere.
+    for left_rows, (measured, chosen) in wins.items():
+        best = min(m for m, _l in measured.values())
+        assert measured[chosen][0] <= 2.5 * best + 20, (
+            f"optimizer chose {chosen} at {left_rows} rows: "
+            f"{measured[chosen][0]} traffic vs best {best}"
+        )
+
+    vql = _join_query(50)
+    benchmark.pedantic(lambda: store.execute(vql), rounds=5, iterations=1)
+
+
+def test_e4_range_algorithm_tradeoff(benchmark, store):
+    """Ablation: shower vs sequential range scans — same rows, different
+    message/latency balance (parallel fan-out vs serial walk)."""
+    table = ResultTable(
+        "E4b: range-scan algorithms (age range query, 128 peers)",
+        ["algorithm", "messages", "latency s", "rows"],
+    )
+    vql = "SELECT ?a WHERE {(?a,'age',?g) FILTER ?g >= 30 AND ?g < 50}"
+    stats = {}
+    for algorithm in ("shower", "sequential"):
+        result = store.execute(vql, config=PlannerConfig(range_algorithm=algorithm))
+        stats[algorithm] = result
+        table.add_row(algorithm, result.messages, result.answer_time, len(result.rows))
+    emit(table)
+    assert len(stats["shower"].rows) == len(stats["sequential"].rows)
+    assert stats["shower"].answer_time <= stats["sequential"].answer_time
+
+    benchmark.pedantic(
+        lambda: store.execute(vql, config=PlannerConfig(range_algorithm="shower")),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def _strategy_in(plan_text: str) -> str:
+    if "IndexNestedLoopJoin" in plan_text:
+        return "index-nl"
+    if "RehashJoin" in plan_text:
+        return "rehash"
+    return "ship"

@@ -1,0 +1,122 @@
+"""E6 — ranking operators: "top-N and skylines" over distributed data
+(paper §2-4), including the paper's own example skyline query.
+
+Both operators are distributive, so each peer can prune locally before
+shipping (local top-n / local skyline) — the ``local-prune`` strategy —
+versus naively centralizing everything.  Reported: shipped payload units and
+latency, for growing author populations, plus the verbatim paper query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import UniStore
+from repro.bench import ConferenceWorkload, ResultTable
+from repro.optimizer import PlannerConfig
+
+from conftest import emit
+
+POPULATIONS = [50, 150, 400]
+
+PAPER_QUERY = """
+SELECT ?name,?age,?cnt
+WHERE {(?a,'name',?name) (?a,'age',?age)
+ (?a,'num_of_pubs',?cnt)
+ (?a,'has_published',?title) (?p,'title',?title)
+ (?p,'published_in',?conf) (?c,'confname',?conf)
+ (?c,'series',?sr) FILTER edist(?sr,'ICDE')<3
+}
+ORDER BY SKYLINE OF ?age MIN, ?cnt MAX
+"""
+
+
+def _build(num_authors: int, seed: int = 66):
+    store = UniStore.build(
+        num_peers=64, replication=2, seed=seed, enable_qgram_index=True
+    )
+    workload = ConferenceWorkload(
+        num_authors=num_authors,
+        num_publications=num_authors * 2,
+        num_conferences=16,
+        seed=seed,
+    )
+    workload.load_into(store)
+    return store
+
+
+def _shipped(store, vql, prune: bool):
+    with store.pnet.net.frame() as frame:
+        result = store.execute(vql, config=PlannerConfig(ranking_prune=prune))
+    return frame.bytes, result
+
+
+SKYLINE_QUERY = (
+    "SELECT ?name,?age,?cnt WHERE {(?a,'name',?name) (?a,'age',?age) "
+    "(?a,'num_of_pubs',?cnt)} ORDER BY SKYLINE OF ?age MIN, ?cnt MAX"
+)
+TOPN_QUERY = (
+    "SELECT ?name,?cnt WHERE {(?a,'name',?name) (?a,'num_of_pubs',?cnt)} "
+    "ORDER BY ?cnt DESC LIMIT 10"
+)
+
+
+def test_e6_ranking_local_pruning(benchmark):
+    table = ResultTable(
+        "E6: distributed ranking — local pruning vs naive centralization",
+        ["authors", "operator", "strategy", "shipped units", "latency s", "rows"],
+    )
+    improvements = []
+    keep = None
+    for population in POPULATIONS:
+        store = _build(population)
+        for operator, vql in (("skyline", SKYLINE_QUERY), ("top-10", TOPN_QUERY)):
+            pruned_bytes, pruned = _shipped(store, vql, prune=True)
+            naive_bytes, naive = _shipped(store, vql, prune=False)
+            assert sorted(map(repr, pruned.rows)) == sorted(map(repr, naive.rows)) or (
+                operator == "top-10"
+                and sorted(r["cnt"] for r in pruned.rows)
+                == sorted(r["cnt"] for r in naive.rows)
+            )
+            table.add_row(population, operator, "local-prune", pruned_bytes,
+                          pruned.answer_time, len(pruned.rows))
+            table.add_row(population, operator, "naive", naive_bytes,
+                          naive.answer_time, len(naive.rows))
+            improvements.append(naive_bytes / max(1, pruned_bytes))
+        keep = store
+    emit(table)
+
+    # Local pruning must never ship more, and should clearly win at scale.
+    assert all(ratio >= 1.0 for ratio in improvements)
+    assert max(improvements) > 1.3
+
+    benchmark.pedantic(lambda: keep.execute(SKYLINE_QUERY), rounds=5, iterations=1)
+
+
+def test_e6_paper_example_query(benchmark):
+    """The verbatim §2 query: skyline of ICDE authors, youngest vs most
+    published, with an edit-distance filter on the series."""
+    store = _build(80, seed=67)
+    result = store.execute(PAPER_QUERY)
+    reference = store.execute(PAPER_QUERY, mode="reference")
+    assert sorted(map(repr, result.rows)) == sorted(map(repr, reference.rows))
+    assert result.rows, "the paper query should find ICDE authors"
+
+    from repro.algebra.semantics import dominates, skyline_values
+    from repro.vql import parse
+
+    items = parse(PAPER_QUERY).skyline
+    vectors = [skyline_values(r, items) for r in result.rows]
+    for a in vectors:
+        assert not any(dominates(b, a, items) for b in vectors)
+
+    table = ResultTable(
+        "E6b: the paper's example query (Fig. 4 scenario)",
+        ["metric", "value"],
+    )
+    table.add_row("skyline rows", len(result.rows))
+    table.add_row("messages", result.messages)
+    table.add_row("latency s", result.answer_time)
+    emit(table)
+
+    benchmark.pedantic(lambda: store.execute(PAPER_QUERY), rounds=3, iterations=1)

@@ -1,0 +1,99 @@
+"""E7 — robustness: "a robust, scalable and reliable massively distributed
+storage in arbitrary environments (even if they are unreliable and highly
+dynamic)" (paper §3).
+
+256 peers, replication factor r ∈ {1, 2, 4}; an increasing fraction of peers
+crashes; we measure the fraction of 120 random key lookups that still
+succeed, and the fraction of the key space still covered by an online
+replica.  Structural replication plus redundant routing references should
+hold lookups near 100% for r >= 2 up to ~30% failures and degrade gracefully
+beyond.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.errors import RoutingError
+from repro.net.churn import ChurnModel
+from repro.pgrid import build_network, bulk_load, encode_string
+
+from conftest import emit
+
+NUM_PEERS = 256
+FAIL_FRACTIONS = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+REPLICATION = [1, 2, 4]
+PROBES = 120
+
+
+def _words(count: int, seed: int) -> list[str]:
+    rng = random.Random(seed)
+    return [
+        "".join(rng.choice(string.ascii_lowercase) for _ in range(7))
+        for _ in range(count)
+    ]
+
+
+def _success_rate(pnet, keys, rng) -> float:
+    online = [p for p in pnet.peers if p.online]
+    if not online:
+        return 0.0
+    hits = 0
+    for key in keys:
+        start = rng.choice(online)
+        try:
+            entries, _trace = pnet.lookup(key, start=start)
+        except RoutingError:
+            continue
+        if entries:
+            hits += 1
+    return hits / len(keys)
+
+
+def test_e7_lookup_availability_under_failures(benchmark):
+    from repro.pgrid.replication import online_coverage
+
+    table = ResultTable(
+        "E7: lookup success rate vs failed fraction (256 peers)",
+        ["replication", "failed %", "success rate", "space covered"],
+    )
+    words = _words(400, seed=71)
+    keys = [encode_string(w) for w in words]
+    rates = {}
+    bench_net = None
+    for replication in REPLICATION:
+        pnet = build_network(
+            NUM_PEERS, replication=replication, seed=71, split_by="population"
+        )
+        bulk_load(pnet, [(k, w, w) for k, w in zip(keys, words)])
+        churn = ChurnModel(pnet.peers, seed=71)
+        probe_rng = random.Random(72)
+        probe_keys = probe_rng.sample(keys, PROBES)
+        for fraction in FAIL_FRACTIONS:
+            churn.recover_all()
+            churn.fail_fraction(fraction)
+            rate = _success_rate(pnet, probe_keys, probe_rng)
+            coverage = online_coverage(pnet)
+            rates[(replication, fraction)] = rate
+            table.add_row(replication, int(fraction * 100), rate, coverage)
+        churn.recover_all()
+        if replication == 4:
+            bench_net = (pnet, probe_keys)
+    emit(table)
+
+    # Claims: full availability without failures; redundancy pays off.
+    for replication in REPLICATION:
+        assert rates[(replication, 0.0)] == 1.0
+    assert rates[(4, 0.3)] > 0.9, "r=4 should survive 30% failures"
+    assert rates[(4, 0.3)] > rates[(1, 0.3)]
+    assert rates[(2, 0.5)] >= rates[(1, 0.5)]
+    # Graceful degradation, not a cliff: r=4 keeps a majority at 50%.
+    assert rates[(4, 0.5)] > 0.5
+
+    pnet, probe_keys = bench_net
+    rng = random.Random(73)
+    benchmark(lambda: _success_rate(pnet, probe_keys[:20], rng))

@@ -1,0 +1,98 @@
+"""E9 — "an update functionality with lose consistency guarantees"
+(paper §2, ref. [4] Datta et al., "Updates in Highly Unreliable, Replicated
+Peer-to-Peer Systems").
+
+128 peers, replication 4.  A fraction of peers goes offline; 60 stored facts
+are updated (push phase reaches online replicas only); the offline peers
+come back; anti-entropy rounds (pull phase) reconcile.  Reported: staleness
+(fraction of replica copies behind the latest version) after the push and
+after each gossip round — the claim is convergence, not instant consistency.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.net.churn import ChurnModel
+from repro.pgrid import (
+    anti_entropy_round,
+    build_network,
+    bulk_load,
+    encode_string,
+    staleness,
+)
+
+from conftest import emit
+
+NUM_PEERS = 128
+REPLICATION = 4
+NUM_FACTS = 60
+OFFLINE_FRACTIONS = [0.0, 0.2, 0.4, 0.6]
+MAX_ROUNDS = 8
+
+
+def _facts(seed: int) -> list[str]:
+    rng = random.Random(seed)
+    return sorted(
+        {
+            "".join(rng.choice(string.ascii_lowercase) for _ in range(7))
+            for _ in range(NUM_FACTS)
+        }
+    )
+
+
+def test_e9_updates_converge_via_anti_entropy(benchmark):
+    table = ResultTable(
+        "E9: update staleness under partial availability (128 peers, r=4)",
+        ["offline %", "stale after push", *[f"round {i}" for i in range(1, 5)]],
+    )
+    trajectories = {}
+    bench_env = None
+    for fraction in OFFLINE_FRACTIONS:
+        pnet = build_network(NUM_PEERS, replication=REPLICATION, seed=91,
+                             split_by="population")
+        words = _facts(91)
+        keys = [encode_string(w) for w in words]
+        bulk_load(pnet, [(k, w, f"v1:{w}") for k, w in zip(keys, words)])
+
+        churn = ChurnModel(pnet.peers, seed=91)
+        churn.fail_fraction(fraction)
+        for key, word in zip(keys, words):
+            try:
+                pnet.update(key, word, f"v2:{word}")
+            except Exception:
+                continue  # whole group offline: the update itself fails
+        churn.recover_all()
+
+        trajectory = [staleness(pnet, keys)]
+        for _round in range(MAX_ROUNDS):
+            if trajectory[-1] == 0.0:
+                break
+            anti_entropy_round(pnet)
+            trajectory.append(staleness(pnet, keys))
+        trajectories[fraction] = trajectory
+        padded = trajectory[1:5] + [0.0] * max(0, 4 - len(trajectory[1:5]))
+        table.add_row(int(fraction * 100), trajectory[0], *padded)
+        if fraction == 0.4:
+            bench_env = pnet
+    emit(table)
+
+    # Claims: no failures => push alone is consistent; with failures the
+    # push leaves staleness proportional to the offline fraction, and
+    # anti-entropy drives it monotonically to (near) zero.
+    assert trajectories[0.0][0] == 0.0
+    assert trajectories[0.2][0] > 0.0
+    assert trajectories[0.6][0] > trajectories[0.2][0]
+    for fraction, trajectory in trajectories.items():
+        assert all(b <= a + 1e-9 for a, b in zip(trajectory, trajectory[1:])), (
+            f"staleness not monotone for {fraction}: {trajectory}"
+        )
+        assert trajectory[-1] <= 0.02, (
+            f"anti-entropy failed to converge for {fraction}: {trajectory}"
+        )
+
+    benchmark.pedantic(lambda: anti_entropy_round(bench_env), rounds=3, iterations=1)

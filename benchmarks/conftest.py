@@ -1,0 +1,41 @@
+"""Shared infrastructure for the experiment benchmarks (E1-E10).
+
+Each ``bench_eN_*.py`` module reproduces one claim/figure of the paper (see
+DESIGN.md §5 and EXPERIMENTS.md).  Benchmarks record their paper-style result
+tables through :func:`emit`; the tables are appended to
+``benchmarks/results.txt`` and replayed after the run by the
+``pytest_terminal_summary`` hook (pytest's fd-level capture would otherwise
+swallow mid-run prints), so ``pytest benchmarks/ --benchmark-only`` shows
+every experiment table at the end of its output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.bench import ResultTable
+
+RESULTS_FILE = pathlib.Path(__file__).parent / "results.txt"
+
+
+def emit(table: ResultTable) -> None:
+    """Record one experiment table (shown in the terminal summary)."""
+    text = table.render()
+    print("\n" + text)  # visible with -s / on failure
+    with RESULTS_FILE.open("a") as fh:
+        fh.write(text + "\n\n")
+
+
+def pytest_sessionstart(session):
+    """Start a fresh results log per run."""
+    if RESULTS_FILE.exists():
+        RESULTS_FILE.unlink()
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Replay all experiment tables after capture is released."""
+    if RESULTS_FILE.exists():
+        terminalreporter.write_sep(
+            "=", "experiment result tables (also in benchmarks/results.txt)"
+        )
+        terminalreporter.write(RESULTS_FILE.read_text())

@@ -1,0 +1,80 @@
+"""The paper's demonstration scenario: a conference data-sharing system.
+
+"As a practical example, we decided to choose data about contacts and
+publications, similar to the schema introduced in section 2." (paper §4)
+
+Loads the Figure-3 domain (authors, publications, conferences) into a
+64-peer overlay and runs the full set of query capabilities the demo script
+shows, including the paper's exact example query — the skyline of authors by
+(age MIN, num_of_pubs MAX) restricted to an ICDE-like series via an edit-
+distance filter.
+
+Run:  python examples/conference_browser.py
+"""
+
+from repro import UniStore
+from repro.bench import ConferenceWorkload
+
+#: The example query of paper §2, verbatim.
+PAPER_QUERY = """
+SELECT ?name,?age,?cnt
+WHERE {(?a,'name',?name) (?a,'age',?age)
+ (?a,'num_of_pubs',?cnt)
+ (?a,'has_published',?title) (?p,'title',?title)
+ (?p,'published_in',?conf) (?c,'confname',?conf)
+ (?c,'series',?sr) FILTER edist(?sr,'ICDE')<3
+}
+ORDER BY SKYLINE OF ?age MIN, ?cnt MAX
+"""
+
+
+def main() -> None:
+    print("Building a 64-peer overlay and loading the conference domain ...")
+    store = UniStore.build(
+        num_peers=64, replication=2, seed=7, enable_qgram_index=True
+    )
+    workload = ConferenceWorkload(
+        num_authors=60, num_publications=120, num_conferences=16, seed=7
+    )
+    workload.load_into(store)
+    print(f"  {store.statistics.total_triples} triples over {len(store.pnet)} peers\n")
+
+    print("=== The paper's example query (skyline of ICDE authors) ===")
+    print(PAPER_QUERY)
+    result = store.execute(PAPER_QUERY)
+    print(result.as_table())
+    print(f"[{result.messages} msgs, {result.answer_time * 1000:.0f} ms simulated]\n")
+
+    print("=== Physical plan chosen by the optimizer ===")
+    print(result.plan, "\n")
+
+    print("=== Top-5 most prolific authors (top-N ranking operator) ===")
+    top = store.execute(
+        "SELECT ?name, ?cnt WHERE {(?a,'name',?name) (?a,'num_of_pubs',?cnt)} "
+        "ORDER BY ?cnt DESC LIMIT 5"
+    )
+    print(top.as_table(), "\n")
+
+    print("=== Substring search over conference names ===")
+    sub = store.execute(
+        "SELECT ?c WHERE {(?p,'confname',?c) FILTER contains(?c, 'ICDE')}"
+    )
+    print(sub.as_table(max_rows=8), "\n")
+
+    print("=== Similarity search absorbs typos in the data ===")
+    fuzzy = store.execute(
+        "SELECT DISTINCT ?conf WHERE {(?p,'published_in',?conf) "
+        "FILTER edist(?conf, 'ICDE 2003') < 3}"
+    )
+    print(fuzzy.as_table(max_rows=8), "\n")
+
+    print("=== Query log (traceable & repeatable, paper §3) ===")
+    for record in store.log.records:
+        print(
+            f"  #{record.sequence}: {record.rows} rows, {record.messages} msgs, "
+            f"{record.latency * 1000:.0f} ms [{record.mode}]"
+        )
+
+
+if __name__ == "__main__":
+    main()

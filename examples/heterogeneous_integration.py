@@ -1,0 +1,66 @@
+"""Schema heterogeneity and mappings — the data-integration story (paper §2).
+
+Two communities publish publication data under *different* schemas
+(``dblp:`` vs ``ilm:`` namespaces).  Correspondences are inserted as ordinary
+metadata triples; they can be queried explicitly like any data, and with
+``expand_mappings=True`` the system consults them automatically to widen a
+query across both schemas — "or even automatically by the system, to
+retrieve relevant data without needing the user to interact".
+
+Run:  python examples/heterogeneous_integration.py
+"""
+
+from repro import UniStore
+
+
+def main() -> None:
+    store = UniStore.build(num_peers=32, replication=2, seed=11)
+
+    # Community A publishes with dblp:-style attribute names.
+    for title, venue in [
+        ("Mutant Query Plans", "ICDE"),
+        ("Indexing Overlay Networks", "VLDB"),
+    ]:
+        store.insert_tuple({"dblp:title": title, "dblp:venue": venue})
+
+    # Community B uses its own schema for the same kind of facts.
+    for title, venue in [
+        ("Cost-Aware Similarity Queries", "P2P"),
+        ("Universal Storage on DHTs", "ICDE"),
+    ]:
+        store.insert_tuple({"ilm:papertitle": title, "ilm:conference": venue})
+
+    print("=== Without mappings: each query sees only its own schema ===")
+    result = store.execute("SELECT ?t WHERE {(?p,'dblp:title',?t)}")
+    print(result.as_table(), "\n")
+
+    # Anyone may contribute correspondences; they are just metadata triples.
+    store.add_mapping("dblp:title", "ilm:papertitle", confidence=0.95)
+    store.add_mapping("dblp:venue", "ilm:conference", confidence=0.9)
+
+    print("=== Mappings are queryable metadata (same operators, same store) ===")
+    meta = store.execute(
+        "SELECT ?m, ?src WHERE {(?m,'map:src',?src)}"
+    )
+    print(meta.as_table(), "\n")
+
+    print("=== With expand_mappings=True the system unifies both schemas ===")
+    unified = store.execute(
+        "SELECT ?t WHERE {(?p,'dblp:title',?t)}", expand_mappings=True
+    )
+    print(unified.as_table(), "\n")
+
+    print("=== Cross-schema join through a mapped attribute ===")
+    joined = store.execute(
+        "SELECT ?t, ?v WHERE {(?p,'dblp:title',?t) (?p,'dblp:venue',?v)}",
+        expand_mappings=True,
+    )
+    print(joined.as_table())
+    print(
+        f"\n[mapping resolution + query: {joined.messages} msgs, "
+        f"{joined.answer_time * 1000:.0f} ms simulated]"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""UniStore: Querying a DHT-based Universal Storage — full reproduction.
+
+Reproduces Karnstedt et al., ICDE 2007: a triple storage on top of the
+P-Grid DHT with the VQL query language, a logical algebra with similarity and
+ranking operators, multiple physical strategies per operator, a cost model
+with logarithmic guarantees, and adaptive mutant-query-plan execution.
+
+Quickstart::
+
+    from repro import UniStore
+
+    store = UniStore.build(num_peers=64, replication=2, seed=7)
+    store.insert_tuple({"name": "Alice", "age": 30})
+    result = store.execute("SELECT ?n WHERE {(?p,'name',?n)}")
+    print(result.as_table())
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-claim reproduction index.
+"""
+
+from repro.core import QueryResult, UniStore
+from repro.errors import (
+    ExecutionError,
+    NetworkError,
+    PlanningError,
+    RoutingError,
+    StorageError,
+    UniStoreError,
+    VQLError,
+    VQLSyntaxError,
+)
+from repro.triples import SchemaMapping, Triple
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UniStore",
+    "QueryResult",
+    "Triple",
+    "SchemaMapping",
+    "UniStoreError",
+    "NetworkError",
+    "RoutingError",
+    "StorageError",
+    "VQLError",
+    "VQLSyntaxError",
+    "PlanningError",
+    "ExecutionError",
+    "__version__",
+]

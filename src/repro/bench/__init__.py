@@ -1,0 +1,35 @@
+"""Workload generators and the experiment harness (deliverable d)."""
+
+from repro.bench.harness import (
+    ResultTable,
+    fit_log2_slope,
+    mean,
+    median,
+    percentile,
+)
+from repro.bench.workloads import (
+    AREAS,
+    SERIES,
+    ConferenceWorkload,
+    inject_typo,
+    make_name,
+    make_title,
+    skewed_strings,
+    zipf_values,
+)
+
+__all__ = [
+    "ConferenceWorkload",
+    "zipf_values",
+    "skewed_strings",
+    "inject_typo",
+    "make_name",
+    "make_title",
+    "SERIES",
+    "AREAS",
+    "ResultTable",
+    "mean",
+    "median",
+    "percentile",
+    "fit_log2_slope",
+]

@@ -1,0 +1,106 @@
+"""Experiment harness: result tables and small statistics helpers.
+
+Every benchmark prints a paper-style table through :class:`ResultTable`
+(fixed-width for the console, also exportable as Markdown for
+EXPERIMENTS.md), and EXPERIMENTS.md quotes those tables verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ResultTable:
+    """A titled table of experiment results."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def _formatted(self) -> list[list[str]]:
+        out = []
+        for row in self.rows:
+            formatted = []
+            for value in row:
+                if isinstance(value, float):
+                    formatted.append(f"{value:.3f}" if abs(value) < 1000 else f"{value:.1f}")
+                else:
+                    formatted.append(str(value))
+            out.append(formatted)
+        return out
+
+    def render(self) -> str:
+        body = self._formatted()
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in body)) if body else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [
+            f"== {self.title} ==",
+            " | ".join(c.ljust(w) for c, w in zip(self.columns, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in body:
+            lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def markdown(self) -> str:
+        body = self._formatted()
+        lines = [
+            "| " + " | ".join(self.columns) + " |",
+            "|" + "|".join("---" for _ in self.columns) + "|",
+        ]
+        for row in body:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+
+def mean(values: list[float]) -> float:
+    """Arithmetic mean (0.0 for an empty list)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def median(values: list[float]) -> float:
+    """Median via the interpolated 50th percentile."""
+    return percentile(values, 50.0)
+
+
+def percentile(values: list[float], p: float) -> float:
+    """Linear-interpolated percentile (p in [0, 100])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def fit_log2_slope(sizes: list[int], values: list[float]) -> float:
+    """Least-squares slope of ``values`` against ``log2(sizes)``.
+
+    Used by E1 to verify logarithmic growth: a slope of ~1 means one extra
+    hop per doubling of the network.
+    """
+    if len(sizes) != len(values) or len(sizes) < 2:
+        raise ValueError("need at least two matching points")
+    xs = [math.log2(size) for size in sizes]
+    mean_x = mean(xs)
+    mean_y = mean(values)
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, values))
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    return numerator / denominator if denominator else 0.0

@@ -1,0 +1,20 @@
+"""Chord baseline DHT (paper §2's comparison point).
+
+The paper argues P-Grid supports range and substring queries *natively*
+because its hash function is order preserving, "where other DHTs require
+additional structures (e.g., in Chord an additional trie-structure is
+constructed on top of its ring-based overlay network to support range
+queries)".  To make that comparison executable we implement both sides:
+
+* :class:`~repro.chord.ring.ChordRing` — the classic ring with consistent
+  (order-destroying) hashing, finger tables and successor lists;
+* :class:`~repro.chord.range_index.ChordRangeIndex` — the "additional
+  trie-structure": a distributed segment trie whose nodes are stored *in*
+  Chord, so every trie-node access costs a full O(log N) Chord lookup.
+"""
+
+from repro.chord.node import ChordNode
+from repro.chord.range_index import ChordRangeIndex
+from repro.chord.ring import ChordRing
+
+__all__ = ["ChordRing", "ChordNode", "ChordRangeIndex"]

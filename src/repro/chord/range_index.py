@@ -1,0 +1,144 @@
+"""A distributed segment trie over Chord — the "additional structure" that
+ring DHTs need for range queries (paper §2).
+
+The trie partitions the *order-preserving* bit-key space (the same encoding
+P-Grid hashes with), but its nodes live **inside Chord**: trie node with
+bit-prefix ``p`` is stored under the Chord key ``"trie:" + p``.  Consequences
+the E8 experiment measures:
+
+* every trie-node access is a full O(log N)-hop Chord lookup;
+* an insert descends from the root — O(depth) lookups plus a write;
+* a range query touches every trie node overlapping the range, each at
+  O(log N) hops, versus P-Grid's native O(log N + leaves).
+
+Leaves hold up to ``leaf_capacity`` data keys and split when they overflow,
+exactly like a batch-free B-trie.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ExecutionError
+from repro.net.trace import Trace
+from repro.chord.node import ChordNode
+from repro.chord.ring import ChordRing
+from repro.pgrid.keys import KeyRange
+
+#: Chord key prefix under which trie nodes are stored.
+TRIE_KEY = "trie:"
+
+
+def _node_key(prefix: str) -> str:
+    return TRIE_KEY + prefix
+
+
+def _total_items(leaf: dict) -> int:
+    """Number of postings stored in a leaf trie node."""
+    return sum(len(postings) for postings in leaf["items"].values())
+
+
+class ChordRangeIndex:
+    """Distributed segment trie stored in a Chord ring."""
+
+    def __init__(self, ring: ChordRing, leaf_capacity: int = 32, max_depth: int = 64):
+        if leaf_capacity < 1:
+            raise ValueError("leaf capacity must be >= 1")
+        self.ring = ring
+        self.leaf_capacity = leaf_capacity
+        self.max_depth = max_depth
+        root = {"leaf": True, "items": {}}
+        self.ring.put(_node_key(""), root)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _fetch(self, prefix: str, start: ChordNode) -> tuple[dict | None, Trace]:
+        value, trace = self.ring.get(_node_key(prefix), start=start)
+        return value, trace  # type: ignore[return-value]
+
+    def _store(self, prefix: str, node: dict, start: ChordNode) -> Trace:
+        return self.ring.put(_node_key(prefix), node, start=start)
+
+    # -- operations --------------------------------------------------------------
+
+    def insert(self, bit_key: str, item_id: str, value: Any, start: ChordNode | None = None) -> Trace:
+        """Insert one item; returns the full maintenance trace.
+
+        Descends from the trie root (one Chord lookup per level), appends to
+        the leaf, and splits it when it overflows.
+        """
+        start = start or self.ring.random_online_node()
+        prefix = ""
+        trace = Trace.ZERO
+        for _depth in range(self.max_depth + 1):
+            node, hop = self._fetch(prefix, start)
+            trace = trace.then(hop)
+            if node is None:
+                raise ExecutionError(f"trie node {prefix!r} missing from Chord")
+            if not node["leaf"]:
+                if len(bit_key) <= len(prefix):
+                    # Key exhausted at an internal node: keep it on the '0' edge.
+                    bit_key = bit_key + "0" * (len(prefix) + 1 - len(bit_key))
+                prefix = prefix + bit_key[len(prefix)]
+                continue
+            node["items"].setdefault(bit_key, []).append((item_id, value))
+            trace = trace.then(self._store(prefix, node, start))
+            if _total_items(node) > self.leaf_capacity and len(prefix) < self.max_depth:
+                trace = trace.then(self._split(prefix, node, start))
+            return trace
+        raise ExecutionError("trie insert exceeded maximum depth")
+
+    def _split(self, prefix: str, node: dict, start: ChordNode) -> Trace:
+        """Split an overflowing leaf into two children."""
+        children: dict[str, dict] = {
+            "0": {"leaf": True, "items": {}},
+            "1": {"leaf": True, "items": {}},
+        }
+        depth = len(prefix)
+        for bit_key, postings in node["items"].items():
+            bit = bit_key[depth] if len(bit_key) > depth else "0"
+            children[bit]["items"][bit_key] = postings
+        trace = Trace.ZERO
+        for bit, child in children.items():
+            trace = trace.then(self._store(prefix + bit, child, start))
+        trace = trace.then(self._store(prefix, {"leaf": False}, start))
+        return trace
+
+    def range_query(
+        self, key_range: KeyRange, start: ChordNode | None = None
+    ) -> tuple[list[tuple[str, str, Any]], Trace, int]:
+        """All ``(bit_key, item_id, value)`` with bit_key in ``key_range``.
+
+        Returns the matches, the causal trace, and the number of trie nodes
+        visited (the "extra structure" cost E8 reports).  Sibling subtrees
+        are descended in parallel.
+        """
+        start = start or self.ring.random_online_node()
+        return self._range_visit("", key_range, start)
+
+    def _range_visit(
+        self, prefix: str, key_range: KeyRange, start: ChordNode
+    ) -> tuple[list[tuple[str, str, Any]], Trace, int]:
+        node, trace = self._fetch(prefix, start)
+        if node is None:
+            return [], trace, 1
+        if node["leaf"]:
+            matches = [
+                (bit_key, item_id, value)
+                for bit_key, postings in node["items"].items()
+                if key_range.contains(bit_key)
+                for item_id, value in postings
+            ]
+            return matches, trace, 1
+        results: list[tuple[str, str, Any]] = []
+        branches: list[Trace] = []
+        visited = 1
+        for bit in ("0", "1"):
+            child = prefix + bit
+            if not key_range.intersects_path(child):
+                continue
+            sub_results, sub_trace, sub_visited = self._range_visit(child, key_range, start)
+            results.extend(sub_results)
+            branches.append(sub_trace)
+            visited += sub_visited
+        return results, trace.then(Trace.parallel(branches)), visited

@@ -1,0 +1,178 @@
+"""The Chord ring: construction, routing, puts/gets with replication.
+
+Routing follows the classic iterative algorithm: jump to the closest
+preceding finger until the key falls between a node and its successor.  Hops
+are O(log N) w.h.p.  Offline fingers are skipped; when no finger helps, the
+route falls back to walking the successor list, which keeps lookups alive
+under moderate churn (at linear cost, as in the original protocol).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import RoutingError
+from repro.net.latency import LatencyModel
+from repro.net.network import Network
+from repro.net.trace import Trace
+from repro.chord.node import M_BITS, RING, ChordNode, chord_hash, in_interval
+
+#: Hard bound on route length (a healthy route is O(log N)).
+MAX_HOPS = 256
+
+
+class ChordRing:
+    """A Chord overlay over the simulated network."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        latency_model: LatencyModel | None = None,
+        seed: int = 0,
+        successor_count: int = 4,
+        replication: int = 1,
+        network: Network | None = None,
+    ):
+        if num_nodes < 1:
+            raise ValueError("need at least one node")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        # Network defines __len__; an empty one is falsy, so test identity.
+        self.net = network if network is not None else Network(
+            latency_model=latency_model, seed=seed
+        )
+        self.rng = random.Random(seed ^ 0xC0DE)
+        self.replication = replication
+        self.successor_count = max(successor_count, replication)
+        self.nodes: list[ChordNode] = []
+        used: set[int] = set()
+        for index in range(num_nodes):
+            ring_id = chord_hash(f"chord-node-{seed}-{index}")
+            while ring_id in used:  # extremely unlikely with 2**32 ids
+                ring_id = (ring_id + 1) % RING
+            used.add(ring_id)
+            self.nodes.append(ChordNode(f"chord-{index:04d}", self.net, ring_id))
+        self.nodes.sort(key=lambda n: n.ring_id)
+        self._wire()
+
+    # -- construction --------------------------------------------------------
+
+    def _wire(self) -> None:
+        """Build finger tables and successor lists from the global view."""
+        count = len(self.nodes)
+        ids = [n.ring_id for n in self.nodes]
+        for position, node in enumerate(self.nodes):
+            node.successors = [
+                self.nodes[(position + offset) % count].node_id
+                for offset in range(1, self.successor_count + 1)
+            ]
+            node.fingers = []
+            for k in range(M_BITS):
+                target = (node.ring_id + (1 << k)) % RING
+                node.fingers.append(self._successor_of(ids, target).node_id)
+
+    def _successor_of(self, sorted_ids: list[int], target: int) -> ChordNode:
+        """First node at or after ``target`` on the ring (global view)."""
+        import bisect
+
+        index = bisect.bisect_left(sorted_ids, target)
+        return self.nodes[index % len(self.nodes)]
+
+    # -- routing --------------------------------------------------------------
+
+    def successor_node(self, node: ChordNode) -> ChordNode | None:
+        """First *online* successor of ``node`` (None if the whole list is dead)."""
+        for successor_id in node.successors:
+            candidate = self.net.nodes[successor_id]
+            if candidate.online:
+                return candidate  # type: ignore[return-value]
+        return None
+
+    def find_successor(
+        self, start: ChordNode, key_id: int, kind: str = "chord-route"
+    ) -> tuple[ChordNode, Trace]:
+        """Route from ``start`` to the node responsible for ``key_id``."""
+        current = start
+        trace = Trace.ZERO
+        for _hop in range(MAX_HOPS):
+            successor = self.successor_node(current)
+            if successor is None:
+                raise self._routing_error(current, key_id, trace)
+            if in_interval(key_id, current.ring_id, successor.ring_id, inclusive_hi=True):
+                if successor is not current:
+                    trace = trace.then(
+                        self.net.send(current.node_id, successor.node_id, kind, 1)
+                    )
+                return successor, trace
+            nxt = self._closest_preceding(current, key_id)
+            if nxt is current:
+                # Fingers useless (all dead or pointing past); fall back to
+                # walking the successor list.
+                nxt = successor
+            trace = trace.then(self.net.send(current.node_id, nxt.node_id, kind, 1))
+            current = nxt
+        raise self._routing_error(current, key_id, trace, reason="route too long")
+
+    def _closest_preceding(self, node: ChordNode, key_id: int) -> ChordNode:
+        for finger_id in reversed(node.fingers):
+            finger = self.net.nodes[finger_id]
+            if not finger.online:
+                continue
+            if in_interval(
+                finger.ring_id, node.ring_id, key_id, inclusive_hi=False  # type: ignore[attr-defined]
+            ):
+                return finger  # type: ignore[return-value]
+        return node
+
+    def _routing_error(
+        self, node: ChordNode, key_id: int, trace: Trace, reason: str = "no live successor"
+    ) -> RoutingError:
+        error = RoutingError(
+            f"chord route from {node.node_id} towards id {key_id} failed: {reason}"
+        )
+        error.trace = trace
+        return error
+
+    # -- data operations ------------------------------------------------------
+
+    def random_online_node(self) -> ChordNode:
+        online = [n for n in self.nodes if n.online]
+        if not online:
+            raise RoutingError("no online chord nodes")
+        return self.rng.choice(online)
+
+    def put(self, key: str, value: object, start: ChordNode | None = None) -> Trace:
+        """Store ``key`` at its successor and ``replication-1`` further successors."""
+        start = start or self.random_online_node()
+        owner, trace = self.find_successor(start, chord_hash(key), kind="chord-put")
+        owner.put_local(key, value)
+        replicas: list[Trace] = []
+        placed = 1
+        for successor_id in owner.successors:
+            if placed >= self.replication:
+                break
+            replica = self.net.nodes[successor_id]
+            if not replica.online:
+                continue
+            replicas.append(self.net.send(owner.node_id, successor_id, "chord-put", 1))
+            replica.put_local(key, value)  # type: ignore[attr-defined]
+            placed += 1
+        return trace.then(Trace.parallel(replicas)) if replicas else trace
+
+    def get(self, key: str, start: ChordNode | None = None) -> tuple[object | None, Trace]:
+        """Fetch ``key`` from its responsible node (or a replica if it is dead)."""
+        start = start or self.random_online_node()
+        owner, trace = self.find_successor(start, chord_hash(key), kind="chord-get")
+        value = owner.get_local(key)
+        if value is None:
+            # The primary may have died and come back empty; ask replicas.
+            for successor_id in owner.successors[: self.replication]:
+                replica = self.net.nodes[successor_id]
+                if not replica.online:
+                    continue
+                trace = trace.then(self.net.send(owner.node_id, successor_id, "chord-get", 1))
+                value = replica.get_local(key)  # type: ignore[attr-defined]
+                if value is not None:
+                    break
+        reply = self.net.send(owner.node_id, start.node_id, "chord-get", 1)
+        return value, trace.then(reply)

@@ -1,0 +1,7 @@
+"""UniStore core — the public face of the platform (paper Fig. 1, top)."""
+
+from repro.core.logging import QueryLog, QueryLogRecord
+from repro.core.results import QueryResult
+from repro.core.unistore import UniStore
+
+__all__ = ["UniStore", "QueryResult", "QueryLog", "QueryLogRecord"]

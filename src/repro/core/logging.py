@@ -1,0 +1,69 @@
+"""Query logging (paper §3: "due to its logging capabilities results are
+traceable, analyzable and (in limits) repeatable").
+
+Every executed query is recorded with its text, chosen plan, execution mode
+and measured costs; :meth:`QueryLog.replay_info` returns what is needed to
+re-run it (text + mode + seed), which is exactly the paper's "in limits"
+repeatability — the overlay state may have changed in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class QueryLogRecord:
+    sequence: int
+    text: str
+    mode: str
+    plan: str
+    messages: int
+    hops: int
+    latency: float
+    rows: int
+    complete: bool
+
+
+@dataclass
+class QueryLog:
+    records: list[QueryLogRecord] = field(default_factory=list)
+
+    def record(
+        self,
+        text: str,
+        mode: str,
+        plan: str,
+        messages: int,
+        hops: int,
+        latency: float,
+        rows: int,
+        complete: bool,
+    ) -> QueryLogRecord:
+        entry = QueryLogRecord(
+            sequence=len(self.records),
+            text=text,
+            mode=mode,
+            plan=plan,
+            messages=messages,
+            hops=hops,
+            latency=latency,
+            rows=rows,
+            complete=complete,
+        )
+        self.records.append(entry)
+        return entry
+
+    def replay_info(self, sequence: int) -> dict:
+        entry = self.records[sequence]
+        return {"text": entry.text, "mode": entry.mode}
+
+    def summary(self) -> dict:
+        if not self.records:
+            return {"queries": 0}
+        return {
+            "queries": len(self.records),
+            "total_messages": sum(r.messages for r in self.records),
+            "mean_latency": sum(r.latency for r in self.records) / len(self.records),
+            "incomplete": sum(1 for r in self.records if not r.complete),
+        }

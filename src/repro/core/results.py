@@ -1,0 +1,79 @@
+"""Query results as returned to users of the public API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.trace import Trace
+from repro.algebra.semantics import Binding
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the execution evidence the demo UI displayed (Fig. 4).
+
+    ``trace`` carries the simulated cost: total messages, critical-path hops
+    and latency ("query answer time").  ``plan`` is the physical plan's
+    EXPLAIN text; ``complete`` is False when parts of the key space were
+    unreachable (best-effort answers under churn).
+    """
+
+    rows: list[Binding]
+    variables: tuple[str, ...] = ()
+    trace: Trace = Trace.ZERO
+    plan: str = ""
+    complete: bool = True
+    mode: str = "optimized"
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    @property
+    def answer_time(self) -> float:
+        """Simulated wall-clock answer time in seconds."""
+        return self.trace.latency
+
+    @property
+    def messages(self) -> int:
+        return self.trace.messages
+
+    def column(self, name: str) -> list:
+        return [row.get(name) for row in self.rows]
+
+    def as_table(self, max_rows: int = 20) -> str:
+        """Fixed-width rendering of the result (the Fig.-4 results tab)."""
+        names = list(self.variables) or sorted(
+            {name for row in self.rows for name in row}
+        )
+        if not names:
+            return "(no columns)"
+        header = [f"?{name}" for name in names]
+        body = [
+            ["" if row.get(name) is None else str(row.get(name)) for name in names]
+            for row in self.rows[:max_rows]
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(names))
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in body:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def sorted_rows(self) -> list[tuple]:
+        """Deterministic row ordering for comparisons in tests."""
+        names = list(self.variables) or sorted(
+            {name for row in self.rows for name in row}
+        )
+        return sorted(
+            tuple(repr(row.get(name)) for name in names) for row in self.rows
+        )

@@ -1,0 +1,391 @@
+"""The UniStore facade — the system a user of the platform sees (paper §4).
+
+One object bundles the whole stack of Fig. 1: P-Grid overlay, triple storage
+with the three default indexes (+ optional q-gram index), VQL parsing,
+logical planning/rewriting, cost-based physical planning, and three execution
+modes:
+
+* ``optimized``  — coordinator-driven execution of the cheapest physical plan;
+* ``mqp``        — mutant-query-plan execution with per-peer re-optimization;
+* ``reference``  — centralized ground-truth evaluation (testing/debugging).
+
+Schema mappings are ordinary metadata triples; with ``expand_mappings=True``
+a query's attribute names are transparently widened to their known
+correspondences ("or even automatically by the system", §2).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.errors import PlanningError
+from repro.net.latency import LatencyModel
+from repro.net.trace import Trace
+from repro.algebra.operators import Join, LogicalPlan, PatternScan, Selection
+from repro.algebra.plan_builder import build_plan
+from repro.algebra.reference import execute_reference
+from repro.algebra.rewrite import rewrite
+from repro.algebra.semantics import Binding, order_sort_key, skyline_of
+from repro.core.logging import QueryLog
+from repro.core.results import QueryResult
+from repro.mqp.executor import execute_mutant_plan
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.planner import Planner, PlannerConfig
+from repro.optimizer.statistics import CatalogStatistics
+from repro.pgrid.construction import build_network
+from repro.pgrid.network import PGridNetwork
+from repro.pgrid.peer import PGridPeer
+from repro.physical.base import ExecutionContext
+from repro.triples.mappings import MappingCatalog, SchemaMapping
+from repro.triples.store import DistributedTripleStore
+from repro.triples.triple import Triple, Value
+from repro.vql.ast import GroupPattern, Literal, Query, TriplePattern
+from repro.vql.parser import parse
+
+
+class UniStore:
+    """A DHT-based universal storage instance."""
+
+    def __init__(
+        self,
+        pnet: PGridNetwork,
+        enable_qgram_index: bool = False,
+        qgram_q: int = 3,
+        qgram_attributes: set[str] | None = None,
+        seed: int = 0,
+    ):
+        self.pnet = pnet
+        self.store = DistributedTripleStore(
+            pnet,
+            enable_qgram_index=enable_qgram_index,
+            qgram_q=qgram_q,
+            qgram_attributes=qgram_attributes,
+        )
+        self.mappings = MappingCatalog(self.store)
+        self.rng = random.Random(seed ^ 0xD1CE)
+        self.log = QueryLog()
+        self._stats: CatalogStatistics | None = None
+        self._oid_counter = itertools.count(1)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        num_peers: int,
+        latency_model: LatencyModel | None = None,
+        replication: int = 2,
+        fanout: int = 4,
+        seed: int = 0,
+        enable_qgram_index: bool = False,
+        qgram_q: int = 3,
+        qgram_attributes: set[str] | None = None,
+    ) -> "UniStore":
+        """Stand up a fresh overlay of ``num_peers`` peers, ready for inserts."""
+        pnet = build_network(
+            num_peers,
+            latency_model=latency_model,
+            seed=seed,
+            fanout=fanout,
+            replication=replication,
+            split_by="population",
+        )
+        return cls(
+            pnet,
+            enable_qgram_index=enable_qgram_index,
+            qgram_q=qgram_q,
+            qgram_attributes=qgram_attributes,
+            seed=seed,
+        )
+
+    # -- data ingestion ----------------------------------------------------------
+
+    def new_oid(self, prefix: str = "oid") -> str:
+        """System-generated OID ("the OID is system generated", §2)."""
+        return f"{prefix}:{next(self._oid_counter):08d}"
+
+    def insert_tuple(self, values: dict[str, Value], oid: str | None = None) -> tuple[str, Trace]:
+        """Vertically decompose and publish one logical tuple; returns its OID."""
+        oid = oid or self.new_oid()
+        _triples, trace = self.store.insert_tuple(oid, values)
+        self._stats = None
+        return oid, trace
+
+    def insert_triple(self, triple: Triple) -> Trace:
+        """Publish one RDF-style triple ("RDF data can be stored seamlessly")."""
+        trace = self.store.insert(triple)
+        self._stats = None
+        return trace
+
+    def add_mapping(self, source: str, target: str, confidence: float = 1.0) -> Trace:
+        trace = self.mappings.add(SchemaMapping(source, target, confidence))
+        self._stats = None
+        return trace
+
+    def bulk_load_tuples(self, tuples: list[dict[str, Value]], oid_prefix: str = "oid") -> list[str]:
+        """Oracle placement of many tuples (setup only; no routed messages)."""
+        triples: list[Triple] = []
+        oids: list[str] = []
+        for values in tuples:
+            oid = self.new_oid(oid_prefix)
+            oids.append(oid)
+            for attribute, value in values.items():
+                if value is not None:
+                    triples.append(Triple(oid, attribute, value))
+        self.store.bulk_insert(triples)
+        self._stats = None
+        return oids
+
+    def rebalance(self, capacity: int | None = None) -> int:
+        """Run P-Grid's storage-threshold load balancing (paper ref. [2]).
+
+        Deepens the trie where postings are dense so no peer holds more than
+        ``capacity`` entries (default: 4x the fair share).  Returns the
+        number of group splits performed.
+        """
+        from repro.pgrid.load_balancing import rebalance as pgrid_rebalance
+
+        if capacity is None:
+            total = sum(p.load for p in self.pnet.peers)
+            capacity = max(8, 4 * total // max(1, len(self.pnet.peers)))
+        splits = pgrid_rebalance(self.pnet, capacity=capacity)
+        self._stats = None
+        return splits
+
+    # -- statistics -----------------------------------------------------------------
+
+    @property
+    def statistics(self) -> CatalogStatistics:
+        if self._stats is None:
+            self._stats = CatalogStatistics.from_store(self.store)
+        return self._stats
+
+    def refresh_statistics(self) -> CatalogStatistics:
+        self._stats = None
+        return self.statistics
+
+    # -- querying ----------------------------------------------------------------------
+
+    def execute(
+        self,
+        vql_text: str,
+        mode: str = "optimized",
+        config: PlannerConfig | None = None,
+        coordinator: PGridPeer | None = None,
+        expand_mappings: bool = False,
+    ) -> QueryResult:
+        """Parse and run a VQL query; see the class docstring for modes."""
+        query = parse(vql_text)
+        expansion_trace = Trace.ZERO
+        if expand_mappings:
+            query, expansion_trace = self._expand_query(query)
+
+        coordinator = coordinator or self.pnet.random_online_peer(self.rng)
+        ctx = ExecutionContext(
+            store=self.store,
+            coordinator=coordinator,
+            rng=self.rng,
+            range_algorithm=(config.range_algorithm if config and config.range_algorithm else "shower"),
+        )
+
+        if mode == "reference":
+            result = self._execute_reference(query)
+        elif mode == "mqp":
+            result = self._execute_mqp(query, ctx, config)
+        elif mode == "optimized":
+            result = self._execute_optimized(query, ctx, config)
+        else:
+            raise ValueError(f"unknown execution mode {mode!r}")
+
+        result.trace = expansion_trace.then(result.trace)
+        result.mode = mode
+        self.log.record(
+            text=vql_text,
+            mode=mode,
+            plan=result.plan,
+            messages=result.trace.messages,
+            hops=result.trace.hops,
+            latency=result.trace.latency,
+            rows=len(result.rows),
+            complete=result.complete,
+        )
+        return result
+
+    def explain(self, vql_text: str, config: PlannerConfig | None = None) -> str:
+        """Logical and physical plan text without executing."""
+        query = parse(vql_text)
+        logical = rewrite(build_plan(query))
+        planner = self._planner(config)
+        physical = planner.plan(logical)
+        return f"-- logical --\n{logical.explain()}\n-- physical --\n{physical.explain()}"
+
+    # -- execution modes -------------------------------------------------------------------
+
+    def _planner(self, config: PlannerConfig | None) -> Planner:
+        return Planner(
+            self.statistics,
+            config or PlannerConfig(),
+            qgram_available=self.store.enable_qgram_index,
+            qgram_q=self.store.qgram_q,
+        )
+
+    def _execute_optimized(
+        self, query: Query, ctx: ExecutionContext, config: PlannerConfig | None
+    ) -> QueryResult:
+        logical = rewrite(build_plan(query))
+        planner = self._planner(config)
+        physical = planner.plan(logical)
+        op_result = physical.execute(ctx)
+        return QueryResult(
+            rows=op_result.all_bindings(),
+            variables=tuple(v.name for v in query.select),
+            trace=op_result.trace,
+            plan=physical.explain(),
+            complete=op_result.complete,
+        )
+
+    def _execute_reference(self, query: Query) -> QueryResult:
+        logical = rewrite(build_plan(query))
+        triples = self._all_triples()
+        rows = execute_reference(logical, triples)
+        return QueryResult(
+            rows=rows,
+            variables=tuple(v.name for v in query.select),
+            trace=Trace.ZERO,
+            plan=logical.explain(),
+            complete=True,
+        )
+
+    def _execute_mqp(
+        self, query: Query, ctx: ExecutionContext, config: PlannerConfig | None
+    ) -> QueryResult:
+        model = CostModel(self.statistics)
+        rows: list[Binding] = []
+        traces: list[Trace] = []
+        steps: list[str] = []
+        complete = True
+        for group in query.groups:
+            scans, residual = self._group_to_scans(group)
+            result = execute_mutant_plan(ctx, scans, residual, model)
+            rows.extend(result.bindings)
+            traces.append(result.trace)
+            steps.extend(result.steps)
+            complete = complete and result.complete
+        rows = self._apply_modifiers(rows, query)
+        return QueryResult(
+            rows=rows,
+            variables=tuple(v.name for v in query.select),
+            trace=Trace.parallel(traces) if traces else Trace.ZERO,
+            plan="\n".join(f"mqp: {step}" for step in steps),
+            complete=complete,
+        )
+
+    def _group_to_scans(
+        self, group: GroupPattern
+    ) -> tuple[list[PatternScan], list]:
+        """Rewrite one group and flatten it into scans + residual filters."""
+        if group.optionals:
+            raise PlanningError("OPTIONAL is not supported in MQP mode")
+        logical = rewrite(
+            build_plan(
+                Query(select=(), groups=(GroupPattern(group.patterns, group.filters),))
+            )
+        )
+        scans: list[PatternScan] = []
+        residual = []
+
+        def collect(node: LogicalPlan) -> None:
+            if isinstance(node, PatternScan):
+                scans.append(node)
+            elif isinstance(node, Selection):
+                residual.append(node.predicate)
+                collect(node.child)
+            elif isinstance(node, Join):
+                collect(node.left)
+                collect(node.right)
+            else:
+                for child in node.children():
+                    collect(child)
+
+        collect(logical)
+        return scans, residual
+
+    def _apply_modifiers(self, rows: list[Binding], query: Query) -> list[Binding]:
+        """Skyline / order / limit / projection at the coordinator (MQP mode)."""
+        if query.skyline:
+            rows = skyline_of(rows, query.skyline)
+        if query.order_by:
+            rows = sorted(rows, key=order_sort_key(query.order_by))
+        if query.limit is not None or query.offset:
+            end = None if query.limit is None else query.offset + query.limit
+            rows = rows[query.offset : end]
+        if query.select:
+            names = [v.name for v in query.select]
+            rows = [{name: row.get(name) for name in names} for row in rows]
+        if query.distinct:
+            seen = set()
+            unique = []
+            for row in rows:
+                key = tuple(sorted(row.items(), key=lambda kv: kv[0]))
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            rows = unique
+        return rows
+
+    # -- mapping expansion ----------------------------------------------------------------
+
+    def _expand_query(self, query: Query) -> tuple[Query, Trace]:
+        """Widen literal predicates to their mapped equivalents (UNION of groups)."""
+        traces: list[Trace] = []
+        new_groups: list[GroupPattern] = []
+        for group in query.groups:
+            alternatives_per_pattern: list[list[TriplePattern]] = []
+            for pattern in group.patterns:
+                alternatives = [pattern]
+                if isinstance(pattern.predicate, Literal) and isinstance(
+                    pattern.predicate.value, str
+                ):
+                    names, trace = self.mappings.expansions(pattern.predicate.value)
+                    traces.append(trace)
+                    for name in names:
+                        alternatives.append(
+                            TriplePattern(pattern.subject, Literal(name), pattern.object)
+                        )
+                alternatives_per_pattern.append(alternatives)
+            combos = list(itertools.product(*alternatives_per_pattern))
+            if len(combos) > 16:  # avoid exponential blow-up on dense mappings
+                combos = combos[:16]
+            for combo in combos:
+                new_groups.append(
+                    GroupPattern(tuple(combo), group.filters, group.optionals)
+                )
+        expanded = Query(
+            select=query.select,
+            groups=tuple(new_groups),
+            distinct=query.distinct or len(new_groups) > len(query.groups),
+            order_by=query.order_by,
+            skyline=query.skyline,
+            limit=query.limit,
+            offset=query.offset,
+        )
+        return expanded, Trace.parallel(traces) if traces else Trace.ZERO
+
+    # -- ground truth -------------------------------------------------------------------------
+
+    def _all_triples(self) -> list[Triple]:
+        """Every distinct triple in the overlay (via the A#v postings)."""
+        from repro.triples.index import IndexKind
+        from repro.triples.store import Posting
+
+        triples = []
+        seen = set()
+        for entry in self.pnet.all_entries():
+            posting = entry.value
+            if isinstance(posting, Posting) and posting.kind is IndexKind.AV:
+                identity = posting.triple.as_tuple()
+                if identity not in seen:
+                    seen.add(identity)
+                    triples.append(posting.triple)
+        return triples

@@ -1,0 +1,223 @@
+"""Mutant-query-plan execution engine.
+
+The plan (pending pattern scans + embedded partial results) migrates through
+the overlay.  At every stop the holding peer:
+
+1. re-optimizes — :func:`~repro.optimizer.adaptive.choose_next_step` with the
+   *actual* intermediate cardinality (paper: the cost model "is repeatedly
+   applied at each peer involved in a query");
+2. evaluates the chosen pattern — either by probing the A#v/OID/v index once
+   per distinct bound value, or by scanning the pattern's region and
+   migrating the plan (with its embedded results) to where those results
+   live;
+3. joins the new bindings into the embedded result and applies every residual
+   filter whose variables are now bound;
+
+until no pattern is pending, then ships the result to the coordinator.
+Compared with coordinator-driven execution, intermediate results never bounce
+through the coordinator — the trade the E4/E2 measurements expose.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field, replace as dataclass_replace
+
+from repro.errors import ExecutionError
+from repro.net.trace import Trace
+from repro.algebra.expressions import satisfies
+from repro.algebra.operators import PatternScan
+from repro.algebra.semantics import (
+    Binding,
+    join_key,
+    match_pattern,
+    merge_bindings,
+)
+from repro.mqp.plan import MutantQueryPlan
+from repro.optimizer.adaptive import Step, choose_next_step
+from repro.optimizer.cost_model import CostModel
+from repro.physical.base import ExecutionContext
+from repro.triples.index import IndexKind, av_key, oid_key, v_key
+from repro.triples.store import Posting
+from repro.vql.ast import Expression, expression_variables
+
+
+@dataclass
+class MQPResult:
+    """Outcome of a mutant-plan run, with the per-stop decision log."""
+
+    bindings: list[Binding]
+    trace: Trace
+    steps: list[str] = field(default_factory=list)
+    complete: bool = True
+
+
+def execute_mutant_plan(
+    ctx: ExecutionContext,
+    scans: list[PatternScan],
+    residual_filters: list[Expression],
+    model: CostModel,
+) -> MQPResult:
+    """Run one group's join tree in mutant-query-plan mode."""
+    if not scans:
+        raise ExecutionError("mutant plan needs at least one pattern scan")
+    plan = MutantQueryPlan(
+        pending=list(scans),
+        residual_filters=list(residual_filters),
+        bindings=None,
+        location=ctx.coordinator.node_id,
+    )
+    trace = Trace.ZERO
+    steps: list[str] = []
+    complete = True
+
+    while not plan.is_done():
+        step = choose_next_step(plan.pending, plan.bindings, model)
+        plan.pending.remove(step.scan)
+        if step.method.startswith("probe") and plan.bindings is not None:
+            step_trace = _probe(ctx, plan, step)
+        else:
+            step_trace, step_complete = _scan_and_migrate(ctx, plan, step, model)
+            complete = complete and step_complete
+        trace = trace.then(step_trace)
+        plan.bindings = _apply_ready_filters(plan)
+        steps.append(
+            f"{step.method} {step.scan.pattern} @ {plan.location} "
+            f"-> {len(plan.bindings or [])} rows"
+        )
+        if plan.bindings is not None and not plan.bindings:
+            break  # empty intermediate result: the answer is empty
+
+    rows = plan.bindings or []
+    # Deliver the final result to the coordinator.
+    if plan.location != ctx.coordinator.node_id and rows:
+        trace = trace.then(
+            ctx.pnet.net.send(
+                plan.location, ctx.coordinator.node_id, "mqp-result", size=len(rows)
+            )
+        )
+    return MQPResult(bindings=rows, trace=trace, steps=steps, complete=complete)
+
+
+# ---------------------------------------------------------------------------
+# Step implementations
+# ---------------------------------------------------------------------------
+
+
+def _probe(ctx: ExecutionContext, plan: MutantQueryPlan, step: Step) -> Trace:
+    """Per-distinct-value index lookups issued from the plan's location."""
+    assert plan.bindings is not None and step.shared_variable is not None
+    pattern = step.scan.pattern
+    holder = ctx.pnet.net.nodes[plan.location]
+    variable = step.shared_variable
+    values = {row[variable] for row in plan.bindings if variable in row}
+
+    matches_by_value: dict[object, list[Binding]] = defaultdict(list)
+    branches: list[Trace] = []
+    for value in values:
+        if step.method == "probe-oid":
+            if not isinstance(value, str):
+                continue
+            key, kind = oid_key(value), IndexKind.OID
+        elif step.method == "probe-av":
+            key, kind = av_key(str(pattern.predicate.value), value), IndexKind.AV  # type: ignore[union-attr]
+        else:  # probe-v
+            key, kind = v_key(value), IndexKind.V
+        entries, lookup_trace = ctx.pnet.lookup(key, start=holder, kind="mqp-probe")
+        branches.append(lookup_trace)
+        seen = set()
+        for entry in entries:
+            posting = entry.value
+            if not isinstance(posting, Posting) or posting.kind is not kind:
+                continue
+            identity = posting.triple.as_tuple()
+            if identity in seen:
+                continue
+            seen.add(identity)
+            binding = match_pattern(pattern, posting.triple)
+            if binding is None or binding.get(variable) != value:
+                continue
+            if all(satisfies(f, binding) for f in step.scan.filters):
+                matches_by_value[value].append(binding)
+
+    joined: list[Binding] = []
+    for row in plan.bindings:
+        for match in matches_by_value.get(row.get(variable), ()):
+            if all(match.get(k, v) == v for k, v in row.items() if k in match):
+                joined.append(merge_bindings(row, match))
+    plan.bindings = joined
+    return Trace.parallel(branches) if branches else Trace.ZERO
+
+
+def _scan_and_migrate(
+    ctx: ExecutionContext, plan: MutantQueryPlan, step: Step, model: CostModel
+) -> tuple[Trace, bool]:
+    """Evaluate the pattern in its region and move the plan there."""
+    holder = ctx.pnet.net.nodes[plan.location]
+    sub_ctx = dataclass_replace(ctx, coordinator=holder)
+    from repro.optimizer.planner import Planner, PlannerConfig
+
+    planner = Planner(
+        model.stats,
+        PlannerConfig(),
+        qgram_available=ctx.store.enable_qgram_index,
+    )
+    planned = planner._plan(step.scan)  # scan strategies only — safe internal use
+    result = planned.op.execute(sub_ctx)
+
+    # The plan migrates to the peer holding the largest share of the scan's
+    # result; everything else converges there too.
+    carried = len(plan.bindings) if plan.bindings else 0
+    if result.groups:
+        target_id = max(result.groups, key=lambda group: len(group[1]))[0]
+    else:
+        target_id = plan.location
+    moved = result.shipped_to(ctx, target_id, kind="mqp-migrate")
+    trace = moved.trace
+    if target_id != plan.location:
+        trace = trace.then(
+            ctx.pnet.net.send(plan.location, target_id, "mqp-migrate", size=max(1, carried))
+        )
+        plan.hops_travelled += 1
+    plan.location = target_id
+
+    new_rows = moved.all_bindings()
+    if plan.bindings is None:
+        plan.bindings = new_rows
+    else:
+        shared = sorted(
+            set().union(*(set(b) for b in plan.bindings))
+            & set().union(*(set(b) for b in new_rows))
+        ) if plan.bindings and new_rows else []
+        plan.bindings = _local_join(plan.bindings, new_rows, shared)
+    return trace, result.complete
+
+
+def _apply_ready_filters(plan: MutantQueryPlan) -> list[Binding] | None:
+    """Evaluate residual filters whose variables are all bound; keep the rest."""
+    if plan.bindings is None:
+        return None
+    bound: set[str] = set()
+    for row in plan.bindings:
+        bound |= set(row)
+    ready = [f for f in plan.residual_filters if expression_variables(f) <= bound]
+    if not ready:
+        return plan.bindings
+    plan.residual_filters = [f for f in plan.residual_filters if f not in ready]
+    return [row for row in plan.bindings if all(satisfies(f, row) for f in ready)]
+
+
+def _local_join(
+    left_rows: list[Binding], right_rows: list[Binding], shared: list[str]
+) -> list[Binding]:
+    if not shared:
+        return [merge_bindings(l, r) for l in left_rows for r in right_rows]
+    table: dict[tuple, list[Binding]] = defaultdict(list)
+    for row in left_rows:
+        table[join_key(row, shared)].append(row)
+    joined: list[Binding] = []
+    for row in right_rows:
+        for match in table.get(join_key(row, shared), ()):
+            if all(row.get(k, v) == v for k, v in match.items() if k in row):
+                joined.append(merge_bindings(match, row))
+    return joined

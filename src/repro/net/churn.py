@@ -1,0 +1,95 @@
+"""Churn and failure injection.
+
+Two usage modes:
+
+* **Static failure sweep** (experiment E7): :meth:`ChurnModel.fail_fraction`
+  takes a random subset of peers offline in one shot, modelling a snapshot of
+  a network where a fraction of nodes is dead.
+* **Session traces** (dynamic churn): :func:`generate_session_trace` produces
+  alternating up/down intervals from exponential session/downtime
+  distributions, which :meth:`ChurnModel.apply_trace` replays through the
+  discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.node import Node
+from repro.net.simulator import EventSimulator
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """A scheduled availability flip for one node."""
+
+    time: float
+    node_id: str
+    online: bool
+
+
+def generate_session_trace(
+    node_ids: list[str],
+    horizon: float,
+    mean_session: float,
+    mean_downtime: float,
+    rng: random.Random,
+) -> list[ChurnEvent]:
+    """Generate up/down flip events for every node until ``horizon``.
+
+    Each node alternates exponentially-distributed online sessions and
+    offline gaps, starting online at a random phase so failures are not
+    synchronized.
+    """
+    if mean_session <= 0 or mean_downtime <= 0:
+        raise ValueError("mean session and downtime must be > 0")
+    events: list[ChurnEvent] = []
+    for node_id in node_ids:
+        t = rng.uniform(0, mean_session)  # random initial phase, node starts up
+        online = True
+        while t < horizon:
+            online = not online
+            events.append(ChurnEvent(time=t, node_id=node_id, online=online))
+            mean = mean_session if online else mean_downtime
+            t += rng.expovariate(1.0 / mean)
+    events.sort(key=lambda e: (e.time, e.node_id))
+    return events
+
+
+class ChurnModel:
+    """Applies failures to a population of nodes."""
+
+    def __init__(self, nodes: list[Node], seed: int = 0):
+        if not nodes:
+            raise ValueError("churn model needs at least one node")
+        self.nodes = list(nodes)
+        self.rng = random.Random(seed)
+
+    def fail_fraction(self, fraction: float) -> list[Node]:
+        """Take ``fraction`` of the (currently online) nodes offline.
+
+        Returns the failed nodes so callers can later :meth:`recover` them.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        online = [n for n in self.nodes if n.online]
+        count = int(round(fraction * len(online)))
+        victims = self.rng.sample(online, count)
+        for node in victims:
+            node.fail()
+        return victims
+
+    def recover_all(self) -> None:
+        for node in self.nodes:
+            node.recover()
+
+    def apply_trace(self, sim: EventSimulator, events: list[ChurnEvent]) -> None:
+        """Schedule every churn event on the simulator."""
+        by_id = {n.node_id: n for n in self.nodes}
+        for event in events:
+            node = by_id.get(event.node_id)
+            if node is None:
+                continue
+            action = node.recover if event.online else node.fail
+            sim.schedule_at(event.time, action)

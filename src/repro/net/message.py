@@ -1,0 +1,48 @@
+"""Overlay messages.
+
+Messages are pure value objects; delivery semantics (latency, failure) live in
+:class:`~repro.net.network.Network`.  ``size`` is an estimated payload size in
+abstract units (we use "number of triples / bindings carried" plus a constant
+header) — the byte counters in :class:`~repro.net.stats.NetworkStats` are in
+these units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Fixed per-message header overhead, in abstract size units.
+HEADER_SIZE = 1
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single overlay message from ``src`` to ``dst``.
+
+    ``kind`` is a short routing/diagnostic tag such as ``"lookup"``,
+    ``"insert"``, ``"range"``, ``"mqp"``; statistics are broken down by it.
+    """
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any = None
+    size: int = HEADER_SIZE
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"message size must be >= 0, got {self.size}")
+
+
+def payload_size(payload: object) -> int:
+    """Estimate the size of a message payload in abstract units.
+
+    Collections count their length, everything else counts 1.  Used by
+    callers that ship result sets around (joins, mutant query plans).
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, (list, tuple, set, frozenset, dict)):
+        return len(payload)
+    return 1

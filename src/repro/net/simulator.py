@@ -1,0 +1,52 @@
+"""Minimal discrete-event kernel.
+
+Used by the time-driven experiments (churn sessions in E7, anti-entropy
+rounds in E9) where *when* something happens matters, unlike query execution
+which uses the causal-trace model.  Events are ``(time, seq, callback)``
+triples in a heap; ``seq`` breaks ties FIFO so runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class EventSimulator:
+    """A deterministic discrete-event loop."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay`` (delay must be >= 0)."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+        self._seq += 1
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute ``time`` (must not be in the past)."""
+        self.schedule(time - self.now, callback)
+
+    def run(self, until: float | None = None) -> None:
+        """Process events in time order, optionally stopping at ``until``.
+
+        When ``until`` is given the clock is advanced to it even if the heap
+        drains earlier, so periodic observers see a consistent end time.
+        """
+        while self._heap:
+            time, _seq, callback = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = time
+            callback()
+        if until is not None and self.now < until:
+            self.now = until
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)

@@ -1,0 +1,78 @@
+"""Message and byte accounting.
+
+The paper's evaluation currency is *messages* and *hops* (its guarantees are
+"logarithmic" in these) plus wall-clock answer time.  ``NetworkStats`` is the
+global ledger attached to a :class:`~repro.net.network.Network`;
+``StatsFrame`` is a scoped sub-ledger used to attribute traffic to a single
+query or experiment phase::
+
+    with net.frame() as f:
+        store.query(...)
+    print(f.messages, f.bytes)
+
+Frames nest; every active frame sees every message.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StatsFrame:
+    """A scoped ledger of messages/bytes, broken down by message kind."""
+
+    messages: int = 0
+    bytes: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+    bytes_by_kind: Counter = field(default_factory=Counter)
+
+    def record(self, kind: str, size: int) -> None:
+        self.messages += 1
+        self.bytes += size
+        self.by_kind[kind] += 1
+        self.bytes_by_kind[kind] += size
+
+    def snapshot(self) -> dict:
+        """Return a plain-dict summary (stable for logging/tests)."""
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "by_kind": dict(self.by_kind),
+        }
+
+
+class NetworkStats:
+    """Global ledger plus the stack of active frames."""
+
+    def __init__(self) -> None:
+        self.total = StatsFrame()
+        self._frames: list[StatsFrame] = []
+
+    def record(self, kind: str, size: int) -> None:
+        self.total.record(kind, size)
+        for frame in self._frames:
+            frame.record(kind, size)
+
+    def push_frame(self) -> StatsFrame:
+        frame = StatsFrame()
+        self._frames.append(frame)
+        return frame
+
+    def pop_frame(self, frame: StatsFrame) -> None:
+        if not self._frames or self._frames[-1] is not frame:
+            raise ValueError("stats frames must be popped in LIFO order")
+        self._frames.pop()
+
+    @property
+    def messages(self) -> int:
+        return self.total.messages
+
+    @property
+    def bytes(self) -> int:
+        return self.total.bytes
+
+    def reset(self) -> None:
+        """Clear the global ledger (active frames are left untouched)."""
+        self.total = StatsFrame()

@@ -1,0 +1,18 @@
+"""Cost-based and adaptive query optimization (paper §2, ref. [5])."""
+
+from repro.optimizer.adaptive import Step, choose_next_step
+from repro.optimizer.cost_model import Cost, CostModel
+from repro.optimizer.planner import Planned, Planner, PlannerConfig
+from repro.optimizer.statistics import AttributeStats, CatalogStatistics
+
+__all__ = [
+    "CatalogStatistics",
+    "AttributeStats",
+    "Cost",
+    "CostModel",
+    "Planner",
+    "PlannerConfig",
+    "Planned",
+    "Step",
+    "choose_next_step",
+]

@@ -1,0 +1,98 @@
+"""Adaptive per-peer re-optimization (paper §2).
+
+    "...we derive a cost model for choosing concrete query plans, which is
+     repeatedly applied at each peer involved in a query, resulting in an
+     adaptive query processing approach."
+
+During mutant-plan execution the peer currently holding the plan knows the
+*exact* cardinality of the partial result (unlike the static planner, which
+only has estimates).  :func:`choose_next_step` re-runs the cost model with
+that ground truth to pick which pending pattern to evaluate next and how:
+probe it with per-value index lookups, or scan it and migrate the plan into
+the data's region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.operators import PatternScan
+from repro.algebra.semantics import Binding
+from repro.optimizer.cost_model import CostModel
+from repro.vql.ast import Literal, Var
+
+
+@dataclass(frozen=True)
+class Step:
+    """The decision for one mutant-plan iteration."""
+
+    scan: PatternScan
+    method: str  # "probe-av" | "probe-oid" | "probe-v" | "scan"
+    shared_variable: str | None
+    estimated_cost: float
+
+
+def choose_next_step(
+    pending: list[PatternScan],
+    bindings: list[Binding] | None,
+    model: CostModel,
+) -> Step:
+    """Pick the cheapest next evaluation step given the *actual* state."""
+    bound_variables: set[str] = set()
+    if bindings:
+        for row in bindings:
+            bound_variables |= set(row)
+
+    best: Step | None = None
+    for scan in pending:
+        step = _cost_step(scan, bindings, bound_variables, model)
+        if best is None or step.estimated_cost < best.estimated_cost:
+            best = step
+    assert best is not None  # pending is never empty when called
+    return best
+
+
+def _cost_step(
+    scan: PatternScan,
+    bindings: list[Binding] | None,
+    bound_variables: set[str],
+    model: CostModel,
+) -> Step:
+    pattern = scan.pattern
+    stats = model.stats
+
+    # Probing is possible when a bound variable sits in the subject or the
+    # object (with literal predicate / via the v index).
+    if bindings is not None:
+        if isinstance(pattern.subject, Var) and pattern.subject.name in bound_variables:
+            distinct = _distinct_count(bindings, pattern.subject.name)
+            cost = model.parallel_lookups(distinct)
+            return Step(scan, "probe-oid", pattern.subject.name, model.value(cost))
+        if isinstance(pattern.object, Var) and pattern.object.name in bound_variables:
+            distinct = _distinct_count(bindings, pattern.object.name)
+            cost = model.parallel_lookups(distinct)
+            method = "probe-av" if isinstance(pattern.predicate, Literal) else "probe-v"
+            return Step(scan, method, pattern.object.name, model.value(cost))
+
+    # Otherwise: evaluate the pattern with its best standalone access path
+    # and migrate the plan (carrying |bindings| rows) into that region.
+    rows = stats.estimate_pattern(pattern)
+    if isinstance(pattern.subject, Literal) or (
+        isinstance(pattern.predicate, Literal) and isinstance(pattern.object, Literal)
+    ):
+        access = model.lookup()
+    elif isinstance(pattern.predicate, Literal):
+        attribute = str(pattern.predicate.value)
+        fraction = stats.attribute_count(attribute) / max(1, stats.total_triples)
+        access = model.range_scan(fraction, "shower", rows)
+    elif isinstance(pattern.object, Literal):
+        access = model.lookup()
+    else:
+        access = model.range_scan(1.0, "shower", rows)
+    carried = len(bindings) if bindings else 0
+    migrate = model.ship_rows(max(1, carried))
+    return Step(scan, "scan", None, model.value(access.then(migrate)))
+
+
+def _distinct_count(bindings: list[Binding], variable: str) -> int:
+    return len({row.get(variable) for row in bindings if variable in row})

@@ -1,0 +1,145 @@
+"""The cost model (paper §2, ref. [5]).
+
+    "For each physical operator, and thus, for each query plan, we can
+     determine worst-case guarantees (almost all are logarithmic) and predict
+     exact costs.  We base these calculations on the characteristics of the
+     used overlay system and the actual data distribution."
+
+Costs carry two dimensions — total **messages** and critical-path **latency**
+— mirroring the two things the paper's evaluation talks about (traffic and
+answer time).  Plan comparison minimizes a weighted combination
+(latency-dominant by default, as the demo's headline metric is answer time).
+
+The formulas below are the standard P-Grid/UniStore ones:
+
+* key lookup:         log₂(G) messages, log₂(G) sequential hops
+* shower range scan:  log₂(G) + L messages, depth ≈ log₂(G) critical path
+* sequential scan:    log₂(G) + L messages, log₂(G) + L critical path
+* ship join:          inputs + shipping |L|+|R| rows, one parallel wave
+* index-NL join:      |distinct(L)| parallel lookups
+* re-hash join:       |L|+|R| routed transfers, parallel, + result wave
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.optimizer.statistics import CatalogStatistics
+
+
+@dataclass(frozen=True)
+class Cost:
+    """Estimated messages (total) and latency (critical path, seconds)."""
+
+    messages: float = 0.0
+    latency: float = 0.0
+
+    def then(self, other: "Cost") -> "Cost":
+        """Sequential composition: both traffic and latency add."""
+        return Cost(self.messages + other.messages, self.latency + other.latency)
+
+    def alongside(self, other: "Cost") -> "Cost":
+        """Parallel composition: traffic adds, latency takes the slower arm."""
+        return Cost(self.messages + other.messages, max(self.latency, other.latency))
+
+    def scaled(self, factor: float) -> "Cost":
+        """Multiply both dimensions (N independent repetitions)."""
+        return Cost(self.messages * factor, self.latency * factor)
+
+
+class CostModel:
+    """Turns statistics into per-operator cost estimates."""
+
+    def __init__(
+        self,
+        stats: CatalogStatistics,
+        latency_weight: float = 1.0,
+        message_weight: float = 0.001,
+    ):
+        self.stats = stats
+        self.latency_weight = latency_weight
+        self.message_weight = message_weight
+
+    # -- plan comparison -------------------------------------------------------
+
+    def value(self, cost: Cost) -> float:
+        """Scalarized cost used to rank plans."""
+        return self.latency_weight * cost.latency + self.message_weight * cost.messages
+
+    # -- primitives -------------------------------------------------------------
+
+    @property
+    def hop_latency(self) -> float:
+        """Expected one-way latency of a single overlay hop."""
+        return self.stats.avg_link_latency
+
+    def lookup(self) -> Cost:
+        """One exact-key lookup: log2(G) routing hops plus the reply."""
+        hops = self.stats.expected_hops()
+        return Cost(messages=hops + 1, latency=(hops + 1) * self.hop_latency)
+
+    def parallel_lookups(self, count: float) -> Cost:
+        """``count`` concurrent lookups: traffic scales, latency does not."""
+        one = self.lookup()
+        return Cost(messages=one.messages * max(0.0, count), latency=one.latency)
+
+    def range_scan(self, fraction: float, algorithm: str, result_rows: float) -> Cost:
+        """Scan of a key range covering ``fraction`` of an index's data."""
+        hops = self.stats.expected_hops()
+        leaves = self.stats.expected_leaves(fraction)
+        if algorithm == "sequential":
+            messages = hops + leaves + result_rows / max(1.0, leaves)
+            latency = (hops + leaves) * self.hop_latency
+        else:  # shower
+            messages = hops + 2 * leaves  # fan-out + per-edge returns
+            latency = 2 * hops * self.hop_latency
+        return Cost(messages=messages, latency=latency)
+
+    def ship_rows(self, rows: float, senders: float = 1.0) -> Cost:
+        """One parallel wave delivering ``rows`` from ``senders`` peers.
+
+        ``messages`` is in *traffic units*: one header per sender plus one
+        unit per shipped row, matching how the simulator accounts payload
+        sizes.  Latency is a single parallel hop.
+        """
+        if rows <= 0:
+            return Cost()
+        return Cost(messages=max(1.0, senders) + rows, latency=self.hop_latency)
+
+    # -- joins ---------------------------------------------------------------------
+
+    def ship_join(self, left_rows: float, left_senders: float, right_rows: float, right_senders: float) -> Cost:
+        """Ship both inputs to the coordinator in one parallel wave."""
+        return self.ship_rows(left_rows, left_senders).alongside(
+            self.ship_rows(right_rows, right_senders)
+        )
+
+    def index_nl_join(self, distinct_probe_values: float) -> Cost:
+        """One parallel index lookup per distinct join value of the left side."""
+        return self.parallel_lookups(distinct_probe_values)
+
+    def rehash_join(
+        self, left_rows: float, right_rows: float, result_rows: float
+    ) -> Cost:
+        """Symmetric re-hash: both inputs route to rendezvous peers in parallel."""
+        hops = self.stats.expected_hops()
+        transfers = (left_rows + right_rows) * 0.5 + 1  # batched by join value
+        messages = transfers * hops + max(1.0, result_rows)
+        latency = hops * self.hop_latency + self.hop_latency  # parallel waves
+        return Cost(messages=messages, latency=latency)
+
+    # -- similarity -------------------------------------------------------------------
+
+    def qgram_probe(self, gram_count: float) -> Cost:
+        """Parallel posting-list fetches for the probe grams of one string."""
+        return self.parallel_lookups(gram_count)
+
+    # -- ranking -----------------------------------------------------------------------
+
+    def ranked_collection(self, producer_count: float, rows_shipped: float) -> Cost:
+        """Gathering (locally pruned) ranking inputs at the coordinator."""
+        if rows_shipped <= 0:
+            return Cost()
+        return Cost(
+            messages=max(1.0, producer_count) + rows_shipped, latency=self.hop_latency
+        )

@@ -1,0 +1,94 @@
+"""Joining peers and merging overlays (paper §2: P-Grid "enables the merging
+of two, formerly independent, overlays").
+
+* :func:`join_peer` — a single newcomer joins a running overlay: it routes a
+  join request to a random point of the key space, becomes a replica of the
+  landing group (cloning data + references), and later load balancing may
+  deepen the trie around it.
+
+* :func:`merge_overlays` — every peer of overlay ``b`` joins overlay ``a``
+  and re-publishes the entries it was responsible for.  Both overlays must
+  share the same simulated :class:`~repro.net.network.Network` (two
+  partitions of one physical network, as when two P-Grids discover each
+  other).  Returns the merged overlay (``a``, mutated).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.trace import Trace
+from repro.pgrid.load_balancing import rebalance
+from repro.pgrid.network import PGridNetwork
+from repro.pgrid.peer import PGridPeer
+from repro.pgrid.routing import route
+
+
+def join_peer(
+    pnet: PGridNetwork,
+    node_id: str,
+    rng: random.Random | None = None,
+) -> tuple[PGridPeer, Trace]:
+    """Add a brand-new peer to a running overlay.
+
+    The newcomer contacts a random online peer (its bootstrap contact),
+    routes towards a random key, and joins the landing group as a replica:
+    copies its data, adopts its references, registers in the replica lists.
+    """
+    rng = rng or pnet.rng
+    newcomer = pnet.add_peer(node_id, path="")
+    contact = pnet.random_online_peer(rng)
+    target_key = "".join(rng.choice("01") for _ in range(24))
+    hop = pnet.net.send(newcomer.node_id, contact.node_id, "join", size=1)
+    host, trace = route(contact, target_key, kind="join", rng=rng)
+    trace = hop.then(trace)
+
+    newcomer.set_path(host.path)
+    copied = 0
+    for entry in host.store:
+        newcomer.store.put(entry)
+        copied += 1
+    trace = trace.then(pnet.net.send(host.node_id, newcomer.node_id, "join", size=max(1, copied)))
+    newcomer.adopt_refs(host)
+    for member_id in [host.node_id, *host.online_replicas()]:
+        member = pnet.net.nodes[member_id]
+        assert isinstance(member, PGridPeer)
+        member.add_replica(newcomer.node_id)
+        newcomer.add_replica(member_id)
+    return newcomer, trace
+
+
+def merge_overlays(
+    a: PGridNetwork,
+    b: PGridNetwork,
+    capacity: int | None = None,
+    rng: random.Random | None = None,
+) -> PGridNetwork:
+    """Merge overlay ``b`` into overlay ``a`` (shared physical network).
+
+    Every ``b`` peer joins ``a`` via the join protocol, then re-publishes the
+    entries it held in ``b`` through routed inserts, so data from both former
+    overlays becomes queryable in the merged trie.  When ``capacity`` is
+    given, a rebalance pass deepens overloaded groups afterwards.
+    """
+    if a.net is not b.net:
+        raise ValueError("overlays must share one simulated network to merge")
+    rng = rng or a.rng
+
+    for old_peer in list(b.peers):
+        # Drain the peer's data, then re-create it inside `a`.
+        entries = list(old_peer.store)
+        old_peer.store.clear()
+        old_peer.fail()  # the old incarnation leaves overlay b
+        newcomer, _trace = join_peer(a, f"{old_peer.node_id}-merged", rng=rng)
+        for entry in entries:
+            a.insert(
+                entry.key,
+                entry.value,
+                item_id=entry.item_id,
+                start=newcomer,
+                version=entry.version,
+            )
+    if capacity is not None:
+        rebalance(a, capacity=capacity)
+    return a

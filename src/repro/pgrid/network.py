@@ -1,0 +1,210 @@
+"""The P-Grid overlay facade.
+
+``PGridNetwork`` bundles the simulated :class:`~repro.net.network.Network`
+with the set of P-Grid peers and exposes the DHT operations the upper layers
+use: routed ``insert`` / ``lookup`` / ``update``, plus global-view inspection
+helpers (used only by tests, benchmarks and the oracle builder — never by the
+distributed algorithms themselves).
+
+Writes go to **all online replicas** of the responsible group; reads are
+served by whichever replica routing lands on.  This mirrors P-Grid's
+replication model, where updates are pushed best-effort and replicas converge
+through anti-entropy (:mod:`repro.pgrid.updates`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from repro.errors import RoutingError
+from repro.net.network import Network
+from repro.net.trace import Trace
+from repro.pgrid.datastore import Entry
+from repro.pgrid.keys import KeyRange, is_complete_partition, responsible
+from repro.pgrid.peer import PGridPeer
+from repro.pgrid.routing import route
+
+
+class PGridNetwork:
+    """A P-Grid overlay over a simulated network."""
+
+    def __init__(self, network: Network | None = None, fanout: int = 4, seed: int = 0):
+        # Note: Network defines __len__, so an empty network is falsy —
+        # an `or` default here would silently discard it.
+        self.net = network if network is not None else Network(seed=seed)
+        self.fanout = fanout
+        self.rng = random.Random(seed ^ 0x5EED)
+        self.peers: list[PGridPeer] = []
+        self._clock = 0  # Lamport-style version counter for updates
+
+    # -- membership ----------------------------------------------------------
+
+    def add_peer(self, node_id: str, path: str = "") -> PGridPeer:
+        peer = PGridPeer(node_id, self.net, path=path, fanout=self.fanout)
+        self.peers.append(peer)
+        return peer
+
+    def peer(self, node_id: str) -> PGridPeer:
+        node = self.net.node(node_id)
+        if not isinstance(node, PGridPeer):
+            raise TypeError(f"{node_id!r} is not a P-Grid peer")
+        return node
+
+    def online_peers(self) -> list[PGridPeer]:
+        return [p for p in self.peers if p.online]
+
+    def random_online_peer(self, rng: random.Random | None = None) -> PGridPeer:
+        online = self.online_peers()
+        if not online:
+            raise RoutingError("no online peers in the overlay")
+        return (rng or self.rng).choice(online)
+
+    def __len__(self) -> int:
+        return len(self.peers)
+
+    # -- versioning ----------------------------------------------------------
+
+    def next_version(self) -> int:
+        """Monotone version for updates (models the update protocol's clock)."""
+        self._clock += 1
+        return self._clock
+
+    # -- data operations (message-accounted) ----------------------------------
+
+    def insert(
+        self,
+        key: str,
+        value: object,
+        item_id: str | None = None,
+        start: PGridPeer | None = None,
+        version: int | None = None,
+        kind: str = "insert",
+    ) -> Trace:
+        """Route an item to its responsible group and store it on all online replicas."""
+        start = start or self.random_online_peer()
+        if item_id is None:
+            item_id = f"item-{self._clock}-{self.rng.getrandbits(32):08x}"
+        if version is None:
+            version = self.next_version()
+        entry = Entry(key=key, item_id=item_id, value=value, version=version)
+        destination, trace = route(start, key, kind=kind)
+        destination.store.put(entry)
+        pushes = []
+        for replica_id in destination.online_replicas():
+            hop = self.net.send(destination.node_id, replica_id, kind, size=1)
+            self.net.nodes[replica_id].store.put(entry)
+            pushes.append(hop)
+        return trace.then(Trace.parallel(pushes)) if pushes else trace
+
+    def lookup(
+        self, key: str, start: PGridPeer | None = None, kind: str = "lookup"
+    ) -> tuple[list[Entry], Trace]:
+        """Route to the responsible group and return the entries stored under ``key``.
+
+        One extra hop models the answer being shipped back to the initiator.
+        """
+        start = start or self.random_online_peer()
+        entries, trace, destination = self.lookup_at(key, start=start, kind=kind)
+        if destination is not start:
+            reply = self.net.send(
+                destination.node_id, start.node_id, kind, size=max(1, len(entries))
+            )
+            trace = trace.then(reply)
+        return entries, trace
+
+    def lookup_at(
+        self, key: str, start: PGridPeer | None = None, kind: str = "lookup"
+    ) -> tuple[list[Entry], Trace, PGridPeer]:
+        """Like :meth:`lookup`, but the result *stays at the destination peer*.
+
+        Returns ``(entries, trace, destination)`` without the reply hop; the
+        physical operators use this provenance-aware form to model different
+        data flows (ship-to-coordinator vs. re-hash to rendezvous peers).
+        """
+        start = start or self.random_online_peer()
+        destination, trace = route(start, key, kind=kind)
+        return destination.store.get(key), trace, destination
+
+    def delete(
+        self, key: str, item_id: str, start: PGridPeer | None = None
+    ) -> tuple[bool, Trace]:
+        """Remove an identity from the responsible group's online replicas.
+
+        Offline replicas keep their copy until anti-entropy with a tombstone
+        would reconcile them; this simulation propagates deletions to online
+        replicas only (a documented simplification of ref. [4]).
+        """
+        start = start or self.random_online_peer()
+        destination, trace = route(start, key, kind="delete")
+        removed = destination.store.delete(key, item_id)
+        pushes = []
+        for replica_id in destination.online_replicas():
+            hop = self.net.send(destination.node_id, replica_id, "delete", size=1)
+            replica = self.net.nodes[replica_id]
+            assert isinstance(replica, PGridPeer)
+            removed = replica.store.delete(key, item_id) or removed
+            pushes.append(hop)
+        if pushes:
+            trace = trace.then(Trace.parallel(pushes))
+        return removed, trace
+
+    def update(
+        self,
+        key: str,
+        item_id: str,
+        value: object,
+        start: PGridPeer | None = None,
+    ) -> tuple[int, Trace]:
+        """Write a new version of an existing identity (paper ref. [4] push phase).
+
+        Returns ``(version, trace)``.  Offline replicas miss the push and
+        stay stale until anti-entropy reconciles them.
+        """
+        version = self.next_version()
+        trace = self.insert(
+            key, value, item_id=item_id, version=version, start=start, kind="update"
+        )
+        return version, trace
+
+    # -- global-view helpers (no messages; tests / oracle only) ---------------
+
+    def leaf_groups(self) -> dict[str, list[PGridPeer]]:
+        """Peers grouped by their current path."""
+        groups: dict[str, list[PGridPeer]] = defaultdict(list)
+        for peer in self.peers:
+            groups[peer.path].append(peer)
+        return dict(groups)
+
+    def trie_paths(self) -> list[str]:
+        return sorted(self.leaf_groups())
+
+    def is_complete(self) -> bool:
+        """True when the peers' paths tile the whole key space."""
+        return is_complete_partition(self.trie_paths())
+
+    def responsible_group(self, key: str) -> list[PGridPeer]:
+        """All peers responsible for ``key`` (global view)."""
+        return [p for p in self.peers if responsible(p.path, key)]
+
+    def peers_with_prefix(self, prefix: str) -> list[PGridPeer]:
+        return [p for p in self.peers if p.path.startswith(prefix)]
+
+    def load_by_peer(self) -> dict[str, int]:
+        """Entries stored per peer — the load-balancing metric of exp. E3."""
+        return {p.node_id: p.load for p in self.peers}
+
+    def all_entries(self) -> list[Entry]:
+        """Every entry in the overlay, deduplicated across replicas."""
+        seen: dict[tuple[str, str], Entry] = {}
+        for peer in self.peers:
+            for entry in peer.store:
+                identity = (entry.key, entry.item_id)
+                existing = seen.get(identity)
+                if existing is None or entry.version > existing.version:
+                    seen[identity] = entry
+        return list(seen.values())
+
+    def entries_in_range(self, key_range: KeyRange) -> list[Entry]:
+        """Global-view range scan (ground truth for range-query tests)."""
+        return [e for e in self.all_entries() if key_range.contains(e.key)]

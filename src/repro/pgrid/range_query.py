@@ -1,0 +1,206 @@
+"""Range queries over the P-Grid key space (paper §2).
+
+Because P-Grid's hash function is order preserving, a key range maps to a
+contiguous band of trie leaves.  Two classic algorithms are implemented, the
+trade-off the paper's cost-model/strategy discussion builds on:
+
+* **sequential (min-max) traversal** — route to the leaf holding the lower
+  bound, then walk leaf-by-leaf to the right.  Messages ≈ log N + L,
+  *latency* ≈ (log N + L) hops because the walk is serial (L = number of
+  leaves intersecting the range).
+
+* **shower** — the query fans out down the trie: each receiving peer serves
+  its local slice and forwards sub-ranges to references covering the other
+  intersecting subtrees, in parallel.  Messages are comparable, but the
+  critical path stays logarithmic, so latency is much lower for wide ranges.
+
+Both return ``(entries, trace, complete)`` — ``complete`` is False when some
+subtree was unreachable (all its replicas offline), matching the paper's
+best-effort guarantee discussion.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import RoutingError
+from repro.net.trace import Trace
+from repro.pgrid.datastore import Entry
+from repro.pgrid.keys import KeyRange, increment_path
+from repro.pgrid.network import PGridNetwork
+from repro.pgrid.peer import PGridPeer
+from repro.pgrid.routing import route
+
+
+def range_query_shower(
+    pnet: PGridNetwork,
+    key_range: KeyRange,
+    start: PGridPeer | None = None,
+    rng: random.Random | None = None,
+    kind: str = "range",
+) -> tuple[list[Entry], Trace, bool]:
+    """Parallel (shower) range query; results funnel back to the initiator."""
+    start = start or pnet.random_online_peer()
+    rng = rng or pnet.rng
+    entries, trace, complete = _shower_visit(
+        pnet, start, key_range, cover="", rng=rng, kind=kind, collect=True, groups=None
+    )
+    return entries, trace, complete
+
+
+def range_query_shower_groups(
+    pnet: PGridNetwork,
+    key_range: KeyRange,
+    start: PGridPeer | None = None,
+    rng: random.Random | None = None,
+    kind: str = "range",
+) -> tuple[list[tuple[str, list[Entry]]], Trace, bool]:
+    """Shower range query in *produce* mode: results stay at the serving peers.
+
+    Returns ``(groups, trace, complete)`` where groups are
+    ``(peer_id, entries)`` pairs; the trace covers the forward fan-out only.
+    Physical operators use this to choose their own data flow afterwards.
+    """
+    start = start or pnet.random_online_peer()
+    rng = rng or pnet.rng
+    groups: list[tuple[str, list[Entry]]] = []
+    _entries, trace, complete = _shower_visit(
+        pnet, start, key_range, cover="", rng=rng, kind=kind, collect=False, groups=groups
+    )
+    return groups, trace, complete
+
+
+def _shower_visit(
+    pnet: PGridNetwork,
+    peer: PGridPeer,
+    key_range: KeyRange,
+    cover: str,
+    rng: random.Random,
+    kind: str,
+    collect: bool,
+    groups: list[tuple[str, list[Entry]]] | None,
+) -> tuple[list[Entry], Trace, bool]:
+    """Serve ``key_range`` restricted to the subtree ``cover`` from ``peer``.
+
+    ``peer``'s own leaf lies inside ``cover``; for every complementary
+    subtree at levels >= len(cover) that intersects the range, the query is
+    forwarded to one reference, which then covers that subtree.  With
+    ``collect`` the results flow back along the fan-out tree (one send per
+    edge, sized by the subtree's result); otherwise they stay at the serving
+    peers and are appended to ``groups``.
+    """
+    local = peer.store.scan(key_range)
+    if groups is not None and local:
+        groups.append((peer.node_id, local))
+    complete = True
+    branches: list[Trace] = []
+
+    for level in range(len(cover), len(peer.path)):
+        subtree = peer.required_prefix(level)
+        if not key_range.intersects_path(subtree):
+            continue
+        refs = peer.valid_refs(level)
+        if not refs:
+            complete = False
+            continue
+        ref_id = rng.choice(refs)
+        hop = pnet.net.send(peer.node_id, ref_id, kind, size=1)
+        child = pnet.net.nodes[ref_id]
+        sub_entries, sub_trace, sub_complete = _shower_visit(
+            pnet, child, key_range, cover=subtree, rng=rng, kind=kind,
+            collect=collect, groups=groups,
+        )
+        branch = hop.then(sub_trace)
+        if collect:
+            # Results return along the tree edge; size reflects the payload.
+            back = pnet.net.send(ref_id, peer.node_id, kind, size=max(1, len(sub_entries)))
+            branch = branch.then(back)
+            local.extend(sub_entries)
+        branches.append(branch)
+        complete = complete and sub_complete
+
+    trace = Trace.parallel(branches) if branches else Trace.ZERO
+    return local, trace, complete
+
+
+def range_query_sequential_groups(
+    pnet: PGridNetwork,
+    key_range: KeyRange,
+    start: PGridPeer | None = None,
+    rng: random.Random | None = None,
+    kind: str = "range",
+    max_leaves: int = 4096,
+) -> tuple[list[tuple[str, list[Entry]]], Trace, bool]:
+    """Sequential traversal in *produce* mode (rows stay at the leaves)."""
+    groups: list[tuple[str, list[Entry]]] = []
+    _entries, trace, complete = _sequential_walk(
+        pnet, key_range, start, rng, kind, max_leaves, groups=groups, collect=False
+    )
+    return groups, trace, complete
+
+
+def range_query_sequential(
+    pnet: PGridNetwork,
+    key_range: KeyRange,
+    start: PGridPeer | None = None,
+    rng: random.Random | None = None,
+    kind: str = "range",
+    max_leaves: int = 4096,
+) -> tuple[list[Entry], Trace, bool]:
+    """Sequential (min-max) range traversal, left edge to right edge."""
+    return _sequential_walk(
+        pnet, key_range, start, rng, kind, max_leaves, groups=None, collect=True
+    )
+
+
+def _sequential_walk(
+    pnet: PGridNetwork,
+    key_range: KeyRange,
+    start: PGridPeer | None,
+    rng: random.Random | None,
+    kind: str,
+    max_leaves: int,
+    groups: list[tuple[str, list[Entry]]] | None,
+    collect: bool,
+) -> tuple[list[Entry], Trace, bool]:
+    start = start or pnet.random_online_peer()
+    rng = rng or pnet.rng
+    entries: list[Entry] = []
+    complete = True
+
+    try:
+        current, trace = route(start, _left_edge(key_range.lo), kind=kind, rng=rng)
+    except RoutingError as error:
+        return [], getattr(error, "trace", Trace.ZERO), False
+
+    for _step in range(max_leaves):
+        local = current.store.scan(key_range)
+        if groups is not None and local:
+            groups.append((current.node_id, local))
+        entries.extend(local)
+        next_key = increment_path(current.path)
+        if next_key is None or not key_range.contains(next_key):
+            break
+        try:
+            current, hop_trace = route(current, _left_edge(next_key), kind=kind, rng=rng)
+        except RoutingError as error:
+            trace = trace.then(getattr(error, "trace", Trace.ZERO))
+            complete = False
+            break
+        trace = trace.then(hop_trace)
+
+    # Ship the collected result back to the initiator.
+    if collect and current is not start:
+        trace = trace.then(
+            pnet.net.send(current.node_id, start.node_id, kind, size=max(1, len(entries)))
+        )
+    return entries, trace, complete
+
+
+def _left_edge(key: str, depth: int = 64) -> str:
+    """Zero-pad a short key so routing lands on the *leftmost* leaf covering it.
+
+    Routing toward the bare prefix may stop at any peer inside the prefix's
+    subtree; the sequential traversal needs the left edge specifically.
+    """
+    return key + "0" * depth

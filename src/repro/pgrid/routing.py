@@ -1,0 +1,88 @@
+"""Greedy prefix routing (paper §2: "prefix-based query routing").
+
+At each step the current peer compares the target key with its own path; the
+first differing bit determines the routing level, and the message is forwarded
+to a reference covering the complementary subtree at that level.  Every hop
+extends the matched prefix by at least one bit, giving the logarithmic hop
+bound the paper's cost model builds on (O(log |Π|) w.h.p. for balanced tries).
+
+Fault tolerance: offline/stale references are skipped; when *all* references
+at the needed level are unusable the router detours through an online replica
+of the current peer (replicas sample their references independently), and
+fails with :class:`RoutingError` only when no progress is possible at all.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import RoutingError
+from repro.net.trace import Trace
+from repro.pgrid.keys import common_prefix_length, responsible
+from repro.pgrid.peer import PGridPeer
+
+#: Hard bound on route length; ordinary routes are O(log N) so hitting this
+#: indicates a broken overlay rather than a long route.
+MAX_HOPS = 256
+
+
+def is_destination(peer: PGridPeer, key: str) -> bool:
+    """True when routing may stop at ``peer`` for ``key``.
+
+    Either the peer is responsible for the key (path is a prefix of the
+    key), or the key itself is a prefix of the peer's path — the latter
+    happens for short prefix-query keys, where any peer inside the key's
+    subtree is an acceptable entry point.
+    """
+    return responsible(peer.path, key) or peer.path.startswith(key)
+
+
+def route(
+    start: PGridPeer,
+    key: str,
+    kind: str = "route",
+    size: int = 1,
+    rng: random.Random | None = None,
+) -> tuple[PGridPeer, Trace]:
+    """Route a message from ``start`` towards ``key``.
+
+    Returns the destination peer and the accumulated causal trace.  Raises
+    :class:`RoutingError` (with the partial trace attached as ``.trace``)
+    when the route dead-ends, e.g. because every peer covering the key's
+    region is offline.
+    """
+    rng = rng or start.network.rng
+    current = start
+    trace = Trace.ZERO
+    visited_detours: set[str] = set()
+
+    for _hop in range(MAX_HOPS):
+        if is_destination(current, key):
+            return current, trace
+
+        level = common_prefix_length(current.path, key)
+        candidates = current.valid_refs(level)
+        if candidates:
+            next_id = rng.choice(candidates)
+            trace = trace.then(current.network.send(current.node_id, next_id, kind, size))
+            current = current.network.nodes[next_id]
+            continue
+
+        # Dead end at this level: detour through a replica whose independent
+        # reference sample may still cover the needed subtree.
+        visited_detours.add(current.node_id)
+        detours = [r for r in current.online_replicas() if r not in visited_detours]
+        if not detours:
+            error = RoutingError(
+                f"no route from {current.node_id!r} (path {current.path!r}) "
+                f"towards key {key[:24]!r}... at level {level}"
+            )
+            error.trace = trace
+            raise error
+        next_id = rng.choice(detours)
+        trace = trace.then(current.network.send(current.node_id, next_id, kind, size))
+        current = current.network.nodes[next_id]
+
+    error = RoutingError(f"route exceeded {MAX_HOPS} hops towards {key[:24]!r}")
+    error.trace = trace
+    raise error

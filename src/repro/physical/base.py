@@ -1,0 +1,100 @@
+"""Physical-operator infrastructure.
+
+    "For each logical operator there are several physical implementations
+     available ... They differ in the kind of used indexes, applied routing
+     strategy, parallelism, etc."  (paper §2)
+
+A physical operator's :meth:`execute` returns an :class:`OpResult` in
+*produce form*: the result bindings grouped by the peer currently holding
+them, plus the causal trace up to that state.  Consumers then decide the data
+flow — ship everything to the coordinator, re-hash to rendezvous peers, prune
+locally first — and account the shipping themselves.  This is what lets the
+three join strategies and the two ranking strategies differ in measurable
+messages/latency while computing identical results.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.net.trace import Trace
+from repro.algebra.semantics import Binding
+from repro.pgrid.network import PGridNetwork
+from repro.pgrid.peer import PGridPeer
+from repro.triples.store import DistributedTripleStore
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a physical operator needs to run.
+
+    ``coordinator`` is the query-issuing peer (the paper's demonstration
+    laptop); all final results are delivered there.
+    """
+
+    store: DistributedTripleStore
+    coordinator: PGridPeer
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    range_algorithm: str = "shower"
+
+    @property
+    def pnet(self) -> PGridNetwork:
+        return self.store.pnet
+
+
+@dataclass
+class OpResult:
+    """Bindings grouped by the peer holding them, plus the cost so far."""
+
+    groups: list[tuple[str, list[Binding]]]
+    trace: Trace = Trace.ZERO
+    complete: bool = True
+
+    def all_bindings(self) -> list[Binding]:
+        rows: list[Binding] = []
+        for _peer_id, bindings in self.groups:
+            rows.extend(bindings)
+        return rows
+
+    def total_rows(self) -> int:
+        return sum(len(bindings) for _peer, bindings in self.groups)
+
+    def shipped_to(self, ctx: ExecutionContext, dest_id: str, kind: str = "ship") -> "OpResult":
+        """Move every group to one peer (parallel sends, sized by payload)."""
+        rows: list[Binding] = []
+        sends: list[Trace] = []
+        for peer_id, bindings in self.groups:
+            rows.extend(bindings)
+            if peer_id != dest_id and bindings:
+                sends.append(ctx.pnet.net.send(peer_id, dest_id, kind, size=len(bindings)))
+        trace = self.trace.then(Trace.parallel(sends)) if sends else self.trace
+        return OpResult(groups=[(dest_id, rows)], trace=trace, complete=self.complete)
+
+    def at_coordinator(self, ctx: ExecutionContext, kind: str = "ship") -> "OpResult":
+        return self.shipped_to(ctx, ctx.coordinator.node_id, kind=kind)
+
+
+class PhysicalOperator(ABC):
+    """Base class; subclasses are the concrete strategies."""
+
+    #: Short strategy name used in EXPLAIN output and benchmarks.
+    strategy: str = ""
+
+    @abstractmethod
+    def execute(self, ctx: ExecutionContext) -> OpResult:
+        """Run the operator and return results in produce form."""
+
+    def children(self) -> tuple["PhysicalOperator", ...]:
+        return ()
+
+    def explain(self, indent: int = 0) -> str:
+        lines = [("  " * indent) + self._label()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def _label(self) -> str:
+        name = type(self).__name__
+        return f"{name}[{self.strategy}]" if self.strategy else name

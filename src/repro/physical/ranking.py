@@ -1,0 +1,93 @@
+"""Distributed ranking operators: top-N and skyline (paper §2-4).
+
+Both come in two strategies, the difference E6 measures:
+
+* ``naive`` — ship every input row to the coordinator, rank there;
+* ``local-prune`` — each producing peer ranks *its own* rows first and ships
+  only what can still matter globally (top-N: its local best n+offset rows;
+  skyline: its local skyline), then the coordinator merges.  Correct because
+  both operators are *distributive*: a row dominated/outranked locally can
+  never enter the global answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.semantics import order_sort_key, skyline_of
+from repro.physical.base import ExecutionContext, OpResult, PhysicalOperator
+from repro.vql.ast import OrderItem, SkylineItem
+
+
+@dataclass
+class TopNOp(PhysicalOperator):
+    """The n best rows under the sort keys."""
+
+    child: PhysicalOperator
+    items: tuple[OrderItem, ...]
+    n: int
+    offset: int = 0
+    prune: bool = True  # local-prune vs naive
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    @property
+    def strategy(self) -> str:  # type: ignore[override]
+        return "local-prune" if self.prune else "naive"
+
+    def execute(self, ctx: ExecutionContext) -> OpResult:
+        result = self.child.execute(ctx)
+        keep = self.n + self.offset
+        key = order_sort_key(self.items)
+        if self.prune:
+            pruned_groups = [
+                (peer_id, sorted(rows, key=key)[:keep]) for peer_id, rows in result.groups
+            ]
+            result = OpResult(pruned_groups, result.trace, result.complete)
+        home = result.at_coordinator(ctx, kind="topn-ship")
+        rows = sorted(home.all_bindings(), key=key)[self.offset : keep]
+        return OpResult(
+            groups=[(ctx.coordinator.node_id, rows)] if rows else [],
+            trace=home.trace,
+            complete=home.complete,
+        )
+
+    def _label(self) -> str:
+        keys = ", ".join(str(i) for i in self.items)
+        return f"TopNOp[{self.strategy}] n={self.n} by {keys}"
+
+
+@dataclass
+class SkylineOp(PhysicalOperator):
+    """Pareto-optimal rows under the MIN/MAX dimensions."""
+
+    child: PhysicalOperator
+    items: tuple[SkylineItem, ...]
+    prune: bool = True
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self.child,)
+
+    @property
+    def strategy(self) -> str:  # type: ignore[override]
+        return "local-prune" if self.prune else "naive"
+
+    def execute(self, ctx: ExecutionContext) -> OpResult:
+        result = self.child.execute(ctx)
+        if self.prune:
+            pruned_groups = [
+                (peer_id, skyline_of(rows, self.items)) for peer_id, rows in result.groups
+            ]
+            result = OpResult(pruned_groups, result.trace, result.complete)
+        home = result.at_coordinator(ctx, kind="skyline-ship")
+        rows = skyline_of(home.all_bindings(), self.items)
+        return OpResult(
+            groups=[(ctx.coordinator.node_id, rows)] if rows else [],
+            trace=home.trace,
+            complete=home.complete,
+        )
+
+    def _label(self) -> str:
+        dims = ", ".join(str(i) for i in self.items)
+        return f"SkylineOp[{self.strategy}] of {dims}"

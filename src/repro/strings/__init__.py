@@ -1,0 +1,32 @@
+"""String-similarity substrate used by UniStore's fuzzy predicates.
+
+The paper's VQL exposes an ``edist`` predicate (bounded Levenshtein distance)
+and processes it efficiently with a distributed q-gram index (ref. [6] of the
+paper).  This package provides the underlying primitives:
+
+* :func:`edit_distance` / :func:`edit_distance_within` — (banded) Levenshtein,
+* :func:`qgrams` / :func:`positional_qgrams` — q-gram extraction,
+* :func:`count_filter_threshold` — the classic count-filter lower bound that
+  makes the q-gram index a *sound* candidate filter (no false dismissals).
+"""
+
+from repro.strings.edit_distance import edit_distance, edit_distance_within
+from repro.strings.qgrams import (
+    PAD_CHAR,
+    count_filter_threshold,
+    distinct_count_filter_threshold,
+    positional_qgrams,
+    qgram_overlap,
+    qgrams,
+)
+
+__all__ = [
+    "edit_distance",
+    "edit_distance_within",
+    "qgrams",
+    "positional_qgrams",
+    "qgram_overlap",
+    "count_filter_threshold",
+    "distinct_count_filter_threshold",
+    "PAD_CHAR",
+]

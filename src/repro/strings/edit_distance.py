@@ -1,0 +1,91 @@
+"""Levenshtein edit distance, plain and banded.
+
+``edist`` in VQL is always used as a *bounded* predicate
+(``edist(?s, 'ICDE') < 3``), so the banded variant
+:func:`edit_distance_within` is the workhorse: it runs in ``O(k * min(m, n))``
+time instead of ``O(m * n)`` and can report early that the bound is exceeded.
+"""
+
+from __future__ import annotations
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Return the Levenshtein distance between ``a`` and ``b``.
+
+    Unit costs for insertion, deletion and substitution.  Runs the classic
+    two-row dynamic program in ``O(len(a) * len(b))`` time and
+    ``O(min(len(a), len(b)))`` space.
+    """
+    if a == b:
+        return 0
+    # Keep the inner loop over the shorter string.
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a)
+
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # deletion from a
+                    current[j - 1] + 1,  # insertion into a
+                    previous[j - 1] + cost,  # substitution / match
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def edit_distance_within(a: str, b: str, bound: int) -> int | None:
+    """Return ``edit_distance(a, b)`` if it is ``<= bound``, else ``None``.
+
+    Uses Ukkonen's banded dynamic program: only cells within ``bound`` of the
+    diagonal are computed, and the scan aborts as soon as every cell in a row
+    exceeds the bound.  ``bound < 0`` always returns ``None``; ``bound == 0``
+    degenerates to an equality test.
+    """
+    if bound < 0:
+        return None
+    if a == b:
+        return 0
+    if bound == 0:
+        return None
+    if len(a) < len(b):
+        a, b = b, a
+    m, n = len(a), len(b)
+    if m - n > bound:
+        return None
+    if n == 0:
+        return m if m <= bound else None
+
+    big = bound + 1  # sentinel meaning "already above the bound"
+    previous = [j if j <= bound else big for j in range(n + 1)]
+    for i in range(1, m + 1):
+        lo = max(1, i - bound)
+        hi = min(n, i + bound)
+        current = [big] * (n + 1)
+        if i <= bound:
+            current[0] = i
+        row_min = current[0] if lo == 1 else big
+        ca = a[i - 1]
+        for j in range(lo, hi + 1):
+            cost = 0 if ca == b[j - 1] else 1
+            best = previous[j - 1] + cost
+            if previous[j] + 1 < best:
+                best = previous[j] + 1
+            if current[j - 1] + 1 < best:
+                best = current[j - 1] + 1
+            if best > bound:
+                best = big
+            current[j] = best
+            if best < row_min:
+                row_min = best
+        if row_min >= big:
+            return None
+        previous = current
+    result = previous[n]
+    return result if result <= bound else None

@@ -1,0 +1,80 @@
+"""q-gram extraction and the count filter for bounded edit distance.
+
+The distributed q-gram index (paper ref. [6]) stores, for every indexed
+string, one posting per q-gram.  A similarity predicate ``edist(s, t) <= k``
+is answered by fetching the postings of ``t``'s q-grams and keeping only
+candidates that share at least :func:`count_filter_threshold` q-grams — a
+*sound* filter: a true match is never dropped (proved in Gravano et al.,
+VLDB 1999), so only the surviving candidates need exact verification.
+
+Strings are padded with :data:`PAD_CHAR` on both ends (q-1 copies) so that
+prefix/suffix characters contribute as many q-grams as interior ones.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+#: Padding character prepended/appended to strings before q-gram extraction.
+#: ``\x01`` sorts below every printable character and cannot appear in data.
+PAD_CHAR = "\x01"
+
+
+def qgrams(s: str, q: int = 3, pad: bool = True) -> list[str]:
+    """Return the list of (overlapping) q-grams of ``s`` in order.
+
+    With ``pad=True`` the string is extended with ``q-1`` pad characters on
+    each side, yielding ``len(s) + q - 1`` grams; without padding a string
+    shorter than ``q`` yields no grams.
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    if pad and q > 1:
+        s = PAD_CHAR * (q - 1) + s + PAD_CHAR * (q - 1)
+    return [s[i : i + q] for i in range(len(s) - q + 1)]
+
+
+def positional_qgrams(s: str, q: int = 3, pad: bool = True) -> list[tuple[int, str]]:
+    """Return ``(position, gram)`` pairs for ``s``.
+
+    Positional q-grams allow a tighter filter (position offsets bounded by the
+    edit distance); UniStore's index stores plain grams but the verification
+    step can exploit positions.
+    """
+    return list(enumerate(qgrams(s, q=q, pad=pad)))
+
+
+def qgram_overlap(a: str, b: str, q: int = 3, pad: bool = True) -> int:
+    """Return the size of the (multiset) intersection of the q-grams of ``a`` and ``b``."""
+    ca = Counter(qgrams(a, q=q, pad=pad))
+    cb = Counter(qgrams(b, q=q, pad=pad))
+    return sum((ca & cb).values())
+
+
+def distinct_count_filter_threshold(query: str, q: int, k: int, pad: bool = True) -> int:
+    """Count-filter threshold over *distinct* q-grams.
+
+    UniStore's q-gram index stores one posting per distinct gram of a value,
+    so the filter can only count distinct shared grams.  Each edit operation
+    destroys at most ``q`` gram occurrences and therefore at most ``q``
+    distinct gram types, giving the sound (slightly weaker) bound
+    ``|distinct grams(query)| - k*q``.  Clamped to 0 (vacuous ⇒ caller must
+    fall back to a scan).
+    """
+    total = len(set(qgrams(query, q=q, pad=pad)))
+    return max(0, total - k * q)
+
+
+def count_filter_threshold(query: str, q: int, k: int, pad: bool = True) -> int:
+    """Minimum number of shared q-grams a string must have with ``query`` to
+    possibly satisfy ``edit_distance <= k``.
+
+    A single edit operation destroys at most ``q`` q-grams, so a candidate
+    within distance ``k`` of a padded query with ``len(query) + q - 1`` grams
+    shares at least ``len(query) + q - 1 - k*q`` of them.  The returned value
+    is clamped to 0: a non-positive threshold means the filter is vacuous and
+    every indexed string is a candidate (the caller should fall back to a
+    scan or verify everything).
+    """
+    total = len(query) + q - 1 if (pad and q > 1) else max(0, len(query) - q + 1)
+    return max(0, total - k * q)

@@ -1,0 +1,144 @@
+"""The three default indexes (paper §2, Fig. 2).
+
+    "By default, we index each triple on the OID, Ai#vi (the concatenation
+     of Ai and vi), and vi."
+
+Each index gets its own 2-bit tag prefix so the three posting families live
+in disjoint subtrees of the P-Grid key space:
+
+* ``OID`` (tag 00) — reassemble a logical tuple from its unique key;
+* ``A#v`` (tag 01) — exact and *range* access on a known attribute
+  (``Ai >= vi`` maps to a contiguous key range because the value encoding is
+  order preserving);
+* ``v``  (tag 10) — access by value when the attribute is unknown
+  ("queries on an arbitrary attribute"), including substring/prefix search.
+
+The q-gram similarity index (tag 11) is defined in
+:mod:`repro.physical.qgram` but shares this tag registry.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.pgrid.hashing import (
+    KEY_SEPARATOR,
+    after_key,
+    encode_string,
+    encode_value,
+)
+from repro.pgrid.keys import KeyRange
+from repro.triples.triple import Value
+
+
+class IndexKind(str, Enum):
+    """Which of the default indexes a posting belongs to."""
+
+    OID = "oid"
+    AV = "av"
+    V = "v"
+    QGRAM = "qgram"
+
+
+#: 2-bit key-space tags per index family.
+INDEX_TAG = {
+    IndexKind.OID: "00",
+    IndexKind.AV: "01",
+    IndexKind.V: "10",
+    IndexKind.QGRAM: "11",
+}
+
+#: Bit encoding of the attribute/value separator character.
+_SEP_BITS = encode_string(KEY_SEPARATOR)
+
+
+def oid_key(oid: str) -> str:
+    """DHT key of a triple under the OID index."""
+    return INDEX_TAG[IndexKind.OID] + encode_string(oid)
+
+
+def av_key(attribute: str, value: Value) -> str:
+    """DHT key of a triple under the A#v index."""
+    return INDEX_TAG[IndexKind.AV] + encode_string(attribute) + _SEP_BITS + encode_value(value)
+
+
+def v_key(value: Value) -> str:
+    """DHT key of a triple under the v index."""
+    return INDEX_TAG[IndexKind.V] + encode_value(value)
+
+
+def qgram_key(gram: str) -> str:
+    """DHT key of a q-gram posting."""
+    return INDEX_TAG[IndexKind.QGRAM] + encode_string(gram)
+
+
+def av_attribute_range(attribute: str) -> KeyRange:
+    """Key range covering *all* postings of one attribute in the A#v index."""
+    prefix = INDEX_TAG[IndexKind.AV] + encode_string(attribute) + _SEP_BITS
+    return KeyRange.subtree(prefix)
+
+
+def av_value_range(
+    attribute: str,
+    low: Value | None = None,
+    high: Value | None = None,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> KeyRange:
+    """Key range for ``low <op> attribute <op> high`` in the A#v index.
+
+    Open bounds fall back to the attribute subtree's edges.  Exclusive /
+    inclusive bounds are realized with :func:`after_key`, which is exact
+    because values cannot contain the reserved low code points.
+    """
+    subtree = av_attribute_range(attribute)
+    prefix = subtree.lo
+    if low is None:
+        lo_key = subtree.lo
+    else:
+        lo_key = prefix + encode_value(low)
+        if not low_inclusive:
+            lo_key = after_key(lo_key)
+    if high is None:
+        hi_key = subtree.hi
+    else:
+        hi_key = prefix + encode_value(high)
+        hi_key = after_key(hi_key) if high_inclusive else hi_key
+    return KeyRange(lo_key, hi_key)
+
+
+def av_string_prefix_range(attribute: str, prefix_text: str) -> KeyRange:
+    """Key range for string values of ``attribute`` starting with ``prefix_text``."""
+    prefix = (
+        INDEX_TAG[IndexKind.AV]
+        + encode_string(attribute)
+        + _SEP_BITS
+        + "1"  # string type tag inside encode_value
+        + encode_string(prefix_text)
+    )
+    return KeyRange.subtree(prefix)
+
+
+def v_value_range(
+    low: Value | None = None,
+    high: Value | None = None,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> KeyRange:
+    """Key range over the v index for attribute-agnostic value ranges."""
+    tag = INDEX_TAG[IndexKind.V]
+    subtree = KeyRange.subtree(tag)
+    lo_key = subtree.lo if low is None else tag + encode_value(low)
+    if low is not None and not low_inclusive:
+        lo_key = after_key(lo_key)
+    if high is None:
+        hi_key = subtree.hi
+    else:
+        hi_key = tag + encode_value(high)
+        hi_key = after_key(hi_key) if high_inclusive else hi_key
+    return KeyRange(lo_key, hi_key)
+
+
+def v_string_prefix_range(prefix_text: str) -> KeyRange:
+    """Key range over the v index for string values starting with ``prefix_text``."""
+    return KeyRange.subtree(INDEX_TAG[IndexKind.V] + "1" + encode_string(prefix_text))

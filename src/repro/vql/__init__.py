@@ -1,0 +1,46 @@
+"""VQL — the Vertical Query Language (paper §2).
+
+A structured query language derived from SPARQL: triple patterns with
+variables, FILTER predicates (including the similarity predicate ``edist``),
+ORDER BY / LIMIT, and the ranking extension ``ORDER BY SKYLINE OF``.
+:func:`parse` turns query text into the AST consumed by
+:mod:`repro.algebra.plan_builder`.
+"""
+
+from repro.vql.ast import (
+    BoolOp,
+    Comparison,
+    Expression,
+    FunctionCall,
+    GroupPattern,
+    Literal,
+    Not,
+    OrderItem,
+    Query,
+    SkylineItem,
+    Term,
+    TriplePattern,
+    Var,
+    expression_variables,
+)
+from repro.vql.lexer import tokenize
+from repro.vql.parser import parse
+
+__all__ = [
+    "parse",
+    "tokenize",
+    "Query",
+    "GroupPattern",
+    "TriplePattern",
+    "Var",
+    "Literal",
+    "Term",
+    "Expression",
+    "Comparison",
+    "BoolOp",
+    "Not",
+    "FunctionCall",
+    "OrderItem",
+    "SkylineItem",
+    "expression_variables",
+]

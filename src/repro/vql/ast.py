@@ -1,0 +1,200 @@
+"""Abstract syntax tree of VQL queries.
+
+The AST mirrors the query surface the paper shows: SELECT over variables,
+WHERE with triple patterns and FILTERs (optionally several groups combined
+with UNION), ORDER BY either as a sort list or as ``SKYLINE OF``, and LIMIT /
+OFFSET.  Filter expressions include the similarity predicates (``edist``,
+``contains``, ``prefix``) that make VQL more than plain SPARQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var:
+    """A query variable, spelled ``?name``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant (string or number)."""
+
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "\\'")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+Term = Union[Var, Literal]
+
+
+# ---------------------------------------------------------------------------
+# Filter expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left <op> right`` with op in =, !=, <, <=, >, >=."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """N-ary AND / OR."""
+
+    op: str  # "and" | "or"
+    operands: tuple["Expression", ...]
+
+    def __str__(self) -> str:
+        joiner = f" {self.op.upper()} "
+        return "(" + joiner.join(str(o) for o in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Expression"
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """Built-in function application, e.g. ``edist(?sr, 'ICDE')``."""
+
+    name: str
+    args: tuple["Expression", ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+Expression = Union[Var, Literal, Comparison, BoolOp, Not, FunctionCall]
+
+
+def expression_variables(expr: Expression) -> set[str]:
+    """All variable names referenced by an expression."""
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, Literal):
+        return set()
+    if isinstance(expr, Comparison):
+        return expression_variables(expr.left) | expression_variables(expr.right)
+    if isinstance(expr, BoolOp):
+        result: set[str] = set()
+        for operand in expr.operands:
+            result |= expression_variables(operand)
+        return result
+    if isinstance(expr, Not):
+        return expression_variables(expr.operand)
+    if isinstance(expr, FunctionCall):
+        result = set()
+        for arg in expr.args:
+            result |= expression_variables(arg)
+        return result
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Patterns and query structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """``(subject, predicate, object)`` with variables and/or literals."""
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+    def __str__(self) -> str:
+        return f"({self.subject},{self.predicate},{self.object})"
+
+    def variables(self) -> set[str]:
+        return {
+            term.name
+            for term in (self.subject, self.predicate, self.object)
+            if isinstance(term, Var)
+        }
+
+
+@dataclass(frozen=True)
+class GroupPattern:
+    """One brace-enclosed block: triple patterns plus FILTER expressions."""
+
+    patterns: tuple[TriplePattern, ...]
+    filters: tuple[Expression, ...] = ()
+    optionals: tuple["GroupPattern", ...] = ()
+
+    def variables(self) -> set[str]:
+        result: set[str] = set()
+        for pattern in self.patterns:
+            result |= pattern.variables()
+        return result
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    variable: Var
+    descending: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.variable} {'DESC' if self.descending else 'ASC'}"
+
+
+@dataclass(frozen=True)
+class SkylineItem:
+    """One SKYLINE OF dimension with its optimisation direction."""
+
+    variable: Var
+    maximize: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.variable} {'MAX' if self.maximize else 'MIN'}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A full VQL query."""
+
+    select: tuple[Var, ...]  # empty tuple means SELECT *
+    groups: tuple[GroupPattern, ...]  # combined with UNION
+    distinct: bool = False
+    order_by: tuple[OrderItem, ...] = ()
+    skyline: tuple[SkylineItem, ...] = ()
+    limit: int | None = None
+    offset: int = 0
+
+    def variables(self) -> set[str]:
+        result: set[str] = set()
+        for group in self.groups:
+            result |= group.variables()
+        return result
+
+    def select_star(self) -> bool:
+        return not self.select

@@ -1,0 +1,157 @@
+"""Hand-written lexer for VQL."""
+
+from __future__ import annotations
+
+from repro.errors import VQLSyntaxError
+from repro.vql.tokens import KEYWORDS, Token, TokenType
+
+_PUNCT = {
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ",": TokenType.COMMA,
+    "*": TokenType.STAR,
+    "=": TokenType.EQ,
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Turn VQL source text into a token list ending with EOF.
+
+    Comments run from ``#`` to end of line.  String literals accept single
+    or double quotes with backslash escapes.
+    """
+    tokens: list[Token] = []
+    line, column = 1, 1
+    index = 0
+    length = len(text)
+
+    def error(message: str) -> VQLSyntaxError:
+        return VQLSyntaxError(message, line=line, column=column)
+
+    while index < length:
+        ch = text[index]
+
+        if ch == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if ch == "#":  # comment to end of line
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+
+        start_line, start_column = line, column
+
+        if ch == "?":  # variable
+            end = index + 1
+            while end < length and (text[end].isalnum() or text[end] in "_"):
+                end += 1
+            name = text[index + 1 : end]
+            if not name:
+                raise error("'?' must be followed by a variable name")
+            tokens.append(Token(TokenType.VARIABLE, name, start_line, start_column))
+            column += end - index
+            index = end
+            continue
+
+        if ch in "'\"":  # string literal
+            quote = ch
+            end = index + 1
+            parts: list[str] = []
+            while end < length and text[end] != quote:
+                if text[end] == "\\" and end + 1 < length:
+                    parts.append(text[end + 1])
+                    end += 2
+                elif text[end] == "\n":
+                    raise error("unterminated string literal")
+                else:
+                    parts.append(text[end])
+                    end += 1
+            if end >= length:
+                raise error("unterminated string literal")
+            tokens.append(Token(TokenType.STRING, "".join(parts), start_line, start_column))
+            column += end + 1 - index
+            index = end + 1
+            continue
+
+        if ch.isdigit() or (ch == "-" and index + 1 < length and text[index + 1].isdigit()):
+            end = index + 1
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    # Only treat as decimal point when a digit follows.
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            raw = text[index:end]
+            value: object = float(raw) if seen_dot else int(raw)
+            tokens.append(Token(TokenType.NUMBER, value, start_line, start_column))
+            column += end - index
+            index = end
+            continue
+
+        if ch.isalpha() or ch == "_":  # keyword or identifier
+            end = index + 1
+            while end < length and (text[end].isalnum() or text[end] in "_:."):
+                end += 1
+            word = text[index:end]
+            token_type = KEYWORDS.get(word.upper())
+            if token_type is not None:
+                tokens.append(Token(token_type, word.upper(), start_line, start_column))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start_line, start_column))
+            column += end - index
+            index = end
+            continue
+
+        # multi-character operators
+        two = text[index : index + 2]
+        if two == "!=":
+            tokens.append(Token(TokenType.NEQ, "!=", start_line, start_column))
+            index += 2
+            column += 2
+            continue
+        if two == "<=":
+            tokens.append(Token(TokenType.LE, "<=", start_line, start_column))
+            index += 2
+            column += 2
+            continue
+        if two == ">=":
+            tokens.append(Token(TokenType.GE, ">=", start_line, start_column))
+            index += 2
+            column += 2
+            continue
+        if two == "&&":
+            tokens.append(Token(TokenType.AND, "AND", start_line, start_column))
+            index += 2
+            column += 2
+            continue
+        if two == "||":
+            tokens.append(Token(TokenType.OR, "OR", start_line, start_column))
+            index += 2
+            column += 2
+            continue
+
+        if ch == "<":
+            tokens.append(Token(TokenType.LT, "<", start_line, start_column))
+        elif ch == ">":
+            tokens.append(Token(TokenType.GT, ">", start_line, start_column))
+        elif ch == "!":
+            tokens.append(Token(TokenType.BANG, "!", start_line, start_column))
+        elif ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, start_line, start_column))
+        else:
+            raise error(f"unexpected character {ch!r}")
+        index += 1
+        column += 1
+
+    tokens.append(Token(TokenType.EOF, None, line, column))
+    return tokens

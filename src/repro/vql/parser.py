@@ -1,0 +1,269 @@
+"""Recursive-descent parser for VQL.
+
+Grammar (terminals in caps; ``[x]`` optional, ``{x}`` repetition)::
+
+    query        = SELECT [DISTINCT] select_list where
+                   [ORDER BY (skyline | order_list)] [LIMIT num] [OFFSET num]
+    select_list  = '*' | var {',' var}
+    where        = WHERE group {UNION group}
+    group        = '{' {pattern | FILTER expr | OPTIONAL group} '}'
+    pattern      = '(' term ',' term ',' term ')'
+    term         = var | string | number
+    skyline      = SKYLINE OF var (MIN|MAX) {',' var (MIN|MAX)}
+    order_list   = var [ASC|DESC] {',' var [ASC|DESC]}
+    expr         = and_expr {OR and_expr}
+    and_expr     = unary {AND unary}
+    unary        = ('!'|NOT) unary | comparison
+    comparison   = operand [cmp_op operand]
+    operand      = var | literal | ident '(' [expr {',' expr}] ')' | '(' expr ')'
+
+The example query of the paper (§2) parses verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VQLSyntaxError
+from repro.vql.ast import (
+    BoolOp,
+    Comparison,
+    Expression,
+    FunctionCall,
+    GroupPattern,
+    Literal,
+    Not,
+    OrderItem,
+    Query,
+    SkylineItem,
+    Term,
+    TriplePattern,
+    Var,
+)
+from repro.vql.lexer import tokenize
+from repro.vql.tokens import Token, TokenType
+
+_COMPARISON_OPS = {
+    TokenType.EQ: "=",
+    TokenType.NEQ: "!=",
+    TokenType.LT: "<",
+    TokenType.LE: "<=",
+    TokenType.GT: ">",
+    TokenType.GE: ">=",
+}
+
+
+def parse(text: str) -> Query:
+    """Parse VQL text into a :class:`~repro.vql.ast.Query`."""
+    return _Parser(tokenize(text)).parse_query()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.position += 1
+        return token
+
+    def check(self, token_type: TokenType) -> bool:
+        return self.current.type is token_type
+
+    def accept(self, token_type: TokenType) -> Token | None:
+        if self.check(token_type):
+            return self.advance()
+        return None
+
+    def expect(self, token_type: TokenType, what: str) -> Token:
+        if not self.check(token_type):
+            raise self.error(f"expected {what}, found {self.current.value!r}")
+        return self.advance()
+
+    def error(self, message: str) -> VQLSyntaxError:
+        return VQLSyntaxError(message, line=self.current.line, column=self.current.column)
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self.expect(TokenType.SELECT, "SELECT")
+        distinct = self.accept(TokenType.DISTINCT) is not None
+        select = self.parse_select_list()
+        groups = self.parse_where()
+        order_by: tuple[OrderItem, ...] = ()
+        skyline: tuple[SkylineItem, ...] = ()
+        if self.accept(TokenType.ORDER):
+            self.expect(TokenType.BY, "BY after ORDER")
+            if self.accept(TokenType.SKYLINE):
+                self.expect(TokenType.OF, "OF after SKYLINE")
+                skyline = self.parse_skyline_items()
+            else:
+                order_by = self.parse_order_items()
+        limit = None
+        if self.accept(TokenType.LIMIT):
+            limit_token = self.expect(TokenType.NUMBER, "a number after LIMIT")
+            limit = int(limit_token.value)  # type: ignore[arg-type]
+            if limit < 0:
+                raise self.error("LIMIT must be non-negative")
+        offset = 0
+        if self.accept(TokenType.OFFSET):
+            offset_token = self.expect(TokenType.NUMBER, "a number after OFFSET")
+            offset = int(offset_token.value)  # type: ignore[arg-type]
+            if offset < 0:
+                raise self.error("OFFSET must be non-negative")
+        self.expect(TokenType.EOF, "end of query")
+        return Query(
+            select=select,
+            groups=groups,
+            distinct=distinct,
+            order_by=order_by,
+            skyline=skyline,
+            limit=limit,
+            offset=offset,
+        )
+
+    def parse_select_list(self) -> tuple[Var, ...]:
+        if self.accept(TokenType.STAR):
+            return ()
+        variables = [self.parse_variable()]
+        while self.accept(TokenType.COMMA):
+            variables.append(self.parse_variable())
+        return tuple(variables)
+
+    def parse_variable(self) -> Var:
+        token = self.expect(TokenType.VARIABLE, "a variable")
+        return Var(str(token.value))
+
+    def parse_where(self) -> tuple[GroupPattern, ...]:
+        self.expect(TokenType.WHERE, "WHERE")
+        groups = [self.parse_group()]
+        while self.accept(TokenType.UNION):
+            groups.append(self.parse_group())
+        return tuple(groups)
+
+    def parse_group(self) -> GroupPattern:
+        self.expect(TokenType.LBRACE, "'{'")
+        patterns: list[TriplePattern] = []
+        filters: list[Expression] = []
+        optionals: list[GroupPattern] = []
+        while not self.check(TokenType.RBRACE):
+            if self.check(TokenType.EOF):
+                raise self.error("unterminated WHERE group (missing '}')")
+            if self.accept(TokenType.FILTER):
+                filters.append(self.parse_expression())
+            elif self.accept(TokenType.OPTIONAL):
+                optionals.append(self.parse_group())
+            else:
+                patterns.append(self.parse_pattern())
+        self.expect(TokenType.RBRACE, "'}'")
+        if not patterns:
+            raise self.error("a WHERE group needs at least one triple pattern")
+        return GroupPattern(
+            patterns=tuple(patterns), filters=tuple(filters), optionals=tuple(optionals)
+        )
+
+    def parse_pattern(self) -> TriplePattern:
+        self.expect(TokenType.LPAREN, "'(' starting a triple pattern")
+        subject = self.parse_term()
+        self.expect(TokenType.COMMA, "','")
+        predicate = self.parse_term()
+        self.expect(TokenType.COMMA, "','")
+        object_ = self.parse_term()
+        self.expect(TokenType.RPAREN, "')' closing a triple pattern")
+        return TriplePattern(subject, predicate, object_)
+
+    def parse_term(self) -> Term:
+        if self.check(TokenType.VARIABLE):
+            return self.parse_variable()
+        if self.check(TokenType.STRING) or self.check(TokenType.NUMBER):
+            return Literal(self.advance().value)
+        raise self.error("expected a variable or literal in a triple pattern")
+
+    def parse_skyline_items(self) -> tuple[SkylineItem, ...]:
+        items = [self.parse_skyline_item()]
+        while self.accept(TokenType.COMMA):
+            items.append(self.parse_skyline_item())
+        return tuple(items)
+
+    def parse_skyline_item(self) -> SkylineItem:
+        variable = self.parse_variable()
+        if self.accept(TokenType.MIN):
+            return SkylineItem(variable, maximize=False)
+        if self.accept(TokenType.MAX):
+            return SkylineItem(variable, maximize=True)
+        raise self.error("each SKYLINE OF dimension needs MIN or MAX")
+
+    def parse_order_items(self) -> tuple[OrderItem, ...]:
+        items = [self.parse_order_item()]
+        while self.accept(TokenType.COMMA):
+            items.append(self.parse_order_item())
+        return tuple(items)
+
+    def parse_order_item(self) -> OrderItem:
+        variable = self.parse_variable()
+        if self.accept(TokenType.DESC):
+            return OrderItem(variable, descending=True)
+        self.accept(TokenType.ASC)
+        return OrderItem(variable, descending=False)
+
+    # -- filter expressions ---------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        operands = [self.parse_and()]
+        while self.accept(TokenType.OR):
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("or", tuple(operands))
+
+    def parse_and(self) -> Expression:
+        operands = [self.parse_unary()]
+        while self.accept(TokenType.AND):
+            operands.append(self.parse_unary())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("and", tuple(operands))
+
+    def parse_unary(self) -> Expression:
+        if self.accept(TokenType.BANG) or self.accept(TokenType.NOT):
+            return Not(self.parse_unary())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expression:
+        left = self.parse_operand()
+        op = _COMPARISON_OPS.get(self.current.type)
+        if op is None:
+            return left
+        self.advance()
+        right = self.parse_operand()
+        return Comparison(op, left, right)
+
+    def parse_operand(self) -> Expression:
+        if self.check(TokenType.VARIABLE):
+            return self.parse_variable()
+        if self.check(TokenType.STRING) or self.check(TokenType.NUMBER):
+            return Literal(self.advance().value)
+        if self.check(TokenType.IDENT):
+            name = str(self.advance().value)
+            self.expect(TokenType.LPAREN, f"'(' after function name {name!r}")
+            args: list[Expression] = []
+            if not self.check(TokenType.RPAREN):
+                args.append(self.parse_expression())
+                while self.accept(TokenType.COMMA):
+                    args.append(self.parse_expression())
+            self.expect(TokenType.RPAREN, "')' closing function arguments")
+            return FunctionCall(name.lower(), tuple(args))
+        if self.accept(TokenType.LPAREN):
+            inner = self.parse_expression()
+            self.expect(TokenType.RPAREN, "')'")
+            return inner
+        raise self.error(f"unexpected token {self.current.value!r} in expression")

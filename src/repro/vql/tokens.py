@@ -1,0 +1,94 @@
+"""Token definitions for VQL (Vertical Query Language).
+
+VQL is "derived from SPARQL" (paper §2): triple patterns in braces,
+variables marked with ``?``, plus SQL-flavoured clause keywords including the
+ranking extensions ``SKYLINE OF`` and ``LIMIT``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    # literals & identifiers
+    VARIABLE = auto()  # ?name
+    STRING = auto()  # 'text' or "text"
+    NUMBER = auto()  # 42, 3.14, -7
+    IDENT = auto()  # bare identifier (function names)
+
+    # keywords
+    SELECT = auto()
+    DISTINCT = auto()
+    WHERE = auto()
+    FILTER = auto()
+    ORDER = auto()
+    BY = auto()
+    SKYLINE = auto()
+    OF = auto()
+    LIMIT = auto()
+    OFFSET = auto()
+    UNION = auto()
+    OPTIONAL = auto()
+    ASC = auto()
+    DESC = auto()
+    MIN = auto()
+    MAX = auto()
+    AND = auto()
+    OR = auto()
+    NOT = auto()
+
+    # punctuation & operators
+    LBRACE = auto()  # {
+    RBRACE = auto()  # }
+    LPAREN = auto()  # (
+    RPAREN = auto()  # )
+    COMMA = auto()  # ,
+    STAR = auto()  # *
+    EQ = auto()  # =
+    NEQ = auto()  # !=
+    LT = auto()  # <
+    LE = auto()  # <=
+    GT = auto()  # >
+    GE = auto()  # >=
+    BANG = auto()  # !
+
+    EOF = auto()
+
+
+#: Keyword spellings (case-insensitive in the lexer).
+KEYWORDS = {
+    "SELECT": TokenType.SELECT,
+    "DISTINCT": TokenType.DISTINCT,
+    "WHERE": TokenType.WHERE,
+    "FILTER": TokenType.FILTER,
+    "ORDER": TokenType.ORDER,
+    "BY": TokenType.BY,
+    "SKYLINE": TokenType.SKYLINE,
+    "OF": TokenType.OF,
+    "LIMIT": TokenType.LIMIT,
+    "OFFSET": TokenType.OFFSET,
+    "UNION": TokenType.UNION,
+    "OPTIONAL": TokenType.OPTIONAL,
+    "ASC": TokenType.ASC,
+    "DESC": TokenType.DESC,
+    "MIN": TokenType.MIN,
+    "MAX": TokenType.MAX,
+    "AND": TokenType.AND,
+    "OR": TokenType.OR,
+    "NOT": TokenType.NOT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position (1-based line/column)."""
+
+    type: TokenType
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r} @{self.line}:{self.column})"

@@ -1,0 +1,35 @@
+"""Shared fixtures for the UniStore test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import UniStore
+from repro.bench import ConferenceWorkload
+from repro.pgrid import build_network
+
+
+@pytest.fixture(scope="session")
+def conference_store() -> UniStore:
+    """A loaded 32-peer store shared by read-only end-to-end tests."""
+    store = UniStore.build(
+        num_peers=32, replication=2, seed=1234, enable_qgram_index=True
+    )
+    workload = ConferenceWorkload(
+        num_authors=30, num_publications=60, num_conferences=12, seed=1234
+    )
+    workload.load_into(store)
+    return store
+
+
+@pytest.fixture(scope="session")
+def conference_workload() -> ConferenceWorkload:
+    return ConferenceWorkload(
+        num_authors=30, num_publications=60, num_conferences=12, seed=1234
+    )
+
+
+@pytest.fixture()
+def small_overlay():
+    """A fresh 16-peer overlay with replication 2 (mutable per test)."""
+    return build_network(16, replication=2, seed=99, split_by="population")

@@ -1,0 +1,149 @@
+"""Chord baseline: ring routing, replication, and the range-index trie."""
+
+import math
+import random
+import string
+
+import pytest
+
+from repro.chord import ChordRangeIndex, ChordRing
+from repro.chord.node import RING, chord_hash, in_interval
+from repro.pgrid import KeyRange, encode_string
+
+
+def _words(count, seed):
+    rng = random.Random(seed)
+    return sorted(
+        {
+            "".join(rng.choice(string.ascii_lowercase) for _ in range(5))
+            for _ in range(count)
+        }
+    )
+
+
+class TestIntervalHelper:
+    def test_plain_interval(self):
+        assert in_interval(5, 2, 8)
+        assert not in_interval(9, 2, 8)
+
+    def test_inclusive_hi(self):
+        assert in_interval(8, 2, 8, inclusive_hi=True)
+        assert not in_interval(8, 2, 8, inclusive_hi=False)
+
+    def test_wrapping_interval(self):
+        assert in_interval(1, RING - 5, 3)
+        assert in_interval(RING - 1, RING - 5, 3)
+        assert not in_interval(100, RING - 5, 3)
+
+    def test_full_ring_when_equal(self):
+        assert in_interval(12345, 7, 7)
+
+    def test_hash_is_stable_and_bounded(self):
+        assert chord_hash("key") == chord_hash("key")
+        assert 0 <= chord_hash("key") < RING
+
+
+class TestRing:
+    def test_put_get_roundtrip(self):
+        ring = ChordRing(32, seed=1)
+        for index, word in enumerate(_words(50, 1)):
+            ring.put(f"k{index}", word)
+        for index, word in enumerate(_words(50, 1)):
+            value, _trace = ring.get(f"k{index}")
+            assert value == word
+
+    def test_missing_key(self):
+        ring = ChordRing(8, seed=2)
+        value, _trace = ring.get("never-stored")
+        assert value is None
+
+    def test_hops_logarithmic(self):
+        ring = ChordRing(128, seed=3)
+        hops = []
+        for index in range(60):
+            ring.put(f"k{index}", index)
+            _value, trace = ring.get(f"k{index}")
+            hops.append(trace.hops)
+        assert sum(hops) / len(hops) <= 2 * math.log2(128)
+
+    def test_single_node_ring(self):
+        ring = ChordRing(1, seed=4)
+        ring.put("a", 1)
+        value, trace = ring.get("a")
+        assert value == 1
+
+    def test_replication_survives_primary_failure(self):
+        ring = ChordRing(32, seed=5, replication=3)
+        ring.put("precious", "data")
+        owner, _trace = ring.find_successor(
+            ring.random_online_node(), chord_hash("precious")
+        )
+        owner.fail()
+        value, _trace = ring.get("precious")
+        assert value == "data"
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ChordRing(0)
+        with pytest.raises(ValueError):
+            ChordRing(4, replication=0)
+
+    def test_consistent_hashing_destroys_order(self):
+        # Adjacent strings land far apart: the motivation for the extra trie.
+        ids = [chord_hash(w) for w in ["aaa", "aab", "aac", "aad"]]
+        gaps = [abs(a - b) for a, b in zip(ids, ids[1:])]
+        assert max(gaps) > RING // 100
+
+
+class TestRangeIndex:
+    def _build(self, num_nodes=32, words=None, seed=7, leaf_capacity=8):
+        ring = ChordRing(num_nodes, seed=seed, replication=2)
+        index = ChordRangeIndex(ring, leaf_capacity=leaf_capacity)
+        words = words if words is not None else _words(120, seed)
+        for position, word in enumerate(words):
+            index.insert(encode_string(word), f"i{position}", word)
+        return ring, index, words
+
+    def test_range_query_exact(self):
+        _ring, index, words = self._build()
+        expected = sorted(w for w in words if w.startswith("a"))
+        results, _trace, _visited = index.range_query(
+            KeyRange.subtree(encode_string("a"))
+        )
+        assert sorted(v for _k, _i, v in results) == expected
+
+    def test_open_interval(self):
+        _ring, index, words = self._build()
+        key_range = KeyRange(encode_string("f"), encode_string("q"))
+        expected = sorted(w for w in words if "f" <= w < "q")
+        results, _trace, _visited = index.range_query(key_range)
+        assert sorted(v for _k, _i, v in results) == expected
+
+    def test_leaves_split_on_overflow(self):
+        _ring, index, _words = self._build(leaf_capacity=4)
+        root, _trace = index.ring.get("trie:")
+        assert root["leaf"] is False  # must have split at least once
+
+    def test_range_costs_more_messages_than_pgrid(self):
+        """The paper's architectural claim (§2), as an executable assertion."""
+        words = _words(150, 11)
+        ring, index, _ = self._build(num_nodes=32, words=words, seed=11)
+        from repro.pgrid import build_network, bulk_load, range_query_shower
+
+        keys = [encode_string(w) for w in words]
+        pnet = build_network(32, data_keys=keys, replication=2, seed=11)
+        bulk_load(pnet, [(k, w, w) for k, w in zip(keys, words)])
+
+        key_range = KeyRange.subtree(encode_string("a"))
+        _r1, chord_trace, _v = index.range_query(key_range)
+        _r2, pgrid_trace, _c = range_query_shower(pnet, key_range)
+        assert chord_trace.messages > pgrid_trace.messages
+
+    def test_insert_maintenance_cost_grows_with_depth(self):
+        ring = ChordRing(16, seed=13, replication=1)
+        index = ChordRangeIndex(ring, leaf_capacity=2)
+        shallow = index.insert(encode_string("aa"), "x1", "aa")
+        for position, word in enumerate(_words(40, 13)):
+            index.insert(encode_string(word), f"y{position}", word)
+        deep = index.insert(encode_string("zz"), "x2", "zz")
+        assert deep.messages > shallow.messages

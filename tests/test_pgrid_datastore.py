@@ -1,0 +1,120 @@
+"""Per-peer datastore: versioned upserts, range scans, partitioning."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pgrid.datastore import DataStore, Entry
+from repro.pgrid.keys import KeyRange, key_fraction
+
+KEYS = st.text(alphabet="01", min_size=1, max_size=8)
+
+
+def _entry(key, item="x", value=None, version=0):
+    return Entry(key=key, item_id=item, value=value if value is not None else key, version=version)
+
+
+class TestPutGet:
+    def test_put_and_get(self):
+        store = DataStore()
+        assert store.put(_entry("0101"))
+        assert [e.value for e in store.get("0101")] == ["0101"]
+
+    def test_multiple_items_one_key(self):
+        store = DataStore()
+        store.put(_entry("01", item="a"))
+        store.put(_entry("01", item="b"))
+        assert len(store.get("01")) == 2
+        assert len(store) == 2
+
+    def test_version_upgrade(self):
+        store = DataStore()
+        store.put(_entry("01", version=1, value="old"))
+        assert store.put(_entry("01", version=2, value="new"))
+        assert store.get_entry("01", "x").value == "new"
+
+    def test_stale_version_ignored(self):
+        store = DataStore()
+        store.put(_entry("01", version=5, value="current"))
+        assert not store.put(_entry("01", version=3, value="stale"))
+        assert store.get_entry("01", "x").value == "current"
+
+    def test_equal_version_idempotent(self):
+        store = DataStore()
+        store.put(_entry("01", version=1))
+        assert not store.put(_entry("01", version=1))
+        assert len(store) == 1
+
+    def test_delete(self):
+        store = DataStore()
+        store.put(_entry("01"))
+        assert store.delete("01", "x")
+        assert not store.delete("01", "x")
+        assert store.get("01") == []
+        assert len(store) == 0
+
+    def test_retain(self):
+        store = DataStore()
+        store.put(_entry("00", item="keep"))
+        store.put(_entry("01", item="drop"))
+        removed = store.retain(lambda e: e.item_id == "keep")
+        assert removed == 1
+        assert [e.item_id for e in store] == ["keep"]
+
+    def test_iteration_sorted_by_key(self):
+        store = DataStore()
+        for key in ["11", "00", "01"]:
+            store.put(_entry(key))
+        assert [e.key for e in store] == ["00", "01", "11"]
+
+    def test_clear(self):
+        store = DataStore()
+        store.put(_entry("01"))
+        store.clear()
+        assert len(store) == 0 and store.keys() == []
+
+
+class TestScan:
+    def test_scan_subtree(self):
+        store = DataStore()
+        for key in ["000", "010", "011", "100"]:
+            store.put(_entry(key))
+        found = store.scan(KeyRange.subtree("01"))
+        assert sorted(e.key for e in found) == ["010", "011"]
+
+    def test_scan_everything(self):
+        store = DataStore()
+        for key in ["0", "10", "111"]:
+            store.put(_entry(key))
+        assert len(store.scan(KeyRange.everything())) == 3
+
+    def test_scan_zero_padded_edge(self):
+        # "01" and "010" denote the same point; both must be found at the low edge.
+        store = DataStore()
+        store.put(_entry("01"))
+        store.put(_entry("010"))
+        found = store.scan(KeyRange("010", "011"))
+        assert sorted(e.key for e in found) == ["01", "010"]
+
+    def test_partition(self):
+        store = DataStore()
+        for key in ["000", "001", "010", "011"]:
+            store.put(_entry(key))
+        zeros, ones = store.partition("000".rstrip("0") or "00")  # prefix "00"
+        zeros, ones = store.partition("00")
+        assert sorted(e.key for e in zeros) == ["000", "001"]
+        assert sorted(e.key for e in ones) == ["010", "011"]
+
+    @given(st.lists(KEYS, max_size=30), KEYS, KEYS)
+    @settings(max_examples=100)
+    def test_scan_matches_naive_filter(self, keys, lo, hi):
+        if key_fraction(lo) > key_fraction(hi):
+            lo, hi = hi, lo
+        store = DataStore()
+        for index, key in enumerate(keys):
+            store.put(Entry(key=key, item_id=f"i{index}", value=key, version=0))
+        key_range = KeyRange(lo, hi if key_fraction(hi) > key_fraction(lo) else None)
+        got = sorted((e.key, e.item_id) for e in store.scan(key_range))
+        expected = sorted(
+            (e.key, e.item_id) for e in store if key_range.contains(e.key)
+        )
+        assert got == expected

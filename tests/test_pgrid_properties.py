@@ -1,0 +1,118 @@
+"""Randomized whole-overlay invariants (hypothesis-driven).
+
+These complement the deterministic overlay tests with breadth: random
+network sizes, replication factors, key populations and rebalance thresholds
+must never violate the structural invariants the paper's guarantees rest on:
+
+* the peers' paths always tile the key space (complete partition);
+* every stored key is retrievable from any online peer;
+* rebalancing moves data but never loses or duplicates identities;
+* failing and recovering peers never corrupts the trie structure.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.pgrid import (
+    build_network,
+    bulk_load,
+    encode_string,
+    load_imbalance,
+    rebalance,
+)
+
+WORDS = st.lists(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=3, max_size=8),
+    min_size=1,
+    max_size=40,
+    unique=True,
+)
+
+SLOW = settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@given(
+    num_peers=st.integers(2, 48),
+    replication=st.integers(1, 4),
+    words=WORDS,
+    seed=st.integers(0, 10_000),
+)
+@SLOW
+def test_every_key_retrievable_from_every_start(num_peers, replication, words, seed):
+    replication = min(replication, num_peers)
+    keys = [encode_string(w) for w in words]
+    pnet = build_network(
+        num_peers, data_keys=keys, replication=replication, seed=seed
+    )
+    assert pnet.is_complete()
+    bulk_load(pnet, [(k, w, w) for k, w in zip(keys, words)])
+    rng = random.Random(seed)
+    for word, key in zip(words[:10], keys[:10]):
+        start = rng.choice(pnet.peers)
+        entries, trace = pnet.lookup(key, start=start)
+        assert any(e.value == word for e in entries), (word, start.path)
+        assert trace.hops <= 64
+
+
+@given(
+    num_peers=st.integers(4, 32),
+    words=WORDS,
+    capacity=st.integers(2, 20),
+    seed=st.integers(0, 10_000),
+)
+@SLOW
+def test_rebalance_preserves_structure_and_data(num_peers, words, capacity, seed):
+    keys = [encode_string(w) for w in words]
+    pnet = build_network(num_peers, replication=2, seed=seed, split_by="population")
+    bulk_load(pnet, [(k, w, w) for k, w in zip(keys, words)])
+    before = {(e.key, e.item_id) for e in pnet.all_entries()}
+    rebalance(pnet, capacity=capacity)
+    assert pnet.is_complete()
+    assert {(e.key, e.item_id) for e in pnet.all_entries()} == before
+    # Every peer only stores what its path covers.
+    from repro.pgrid.keys import responsible
+
+    for peer in pnet.peers:
+        for entry in peer.store:
+            assert responsible(peer.path, entry.key)
+
+
+@given(
+    num_peers=st.integers(6, 40),
+    fail_count=st.integers(0, 5),
+    seed=st.integers(0, 10_000),
+)
+@SLOW
+def test_failures_never_corrupt_partition(num_peers, fail_count, seed):
+    pnet = build_network(num_peers, replication=2, seed=seed, split_by="population")
+    rng = random.Random(seed)
+    victims = rng.sample(pnet.peers, min(fail_count, len(pnet.peers) // 2))
+    for peer in victims:
+        peer.fail()
+    # Structure is a property of paths, not liveness.
+    assert pnet.is_complete()
+    for peer in victims:
+        peer.recover()
+    # After recovery everything routes again.
+    key = encode_string("probe")
+    entries, _trace = pnet.lookup(key)
+    assert entries == []  # nothing stored, but routing must succeed
+
+
+@given(words=WORDS, seed=st.integers(0, 10_000))
+@SLOW
+def test_imbalance_metrics_well_formed(words, seed):
+    keys = [encode_string(w) for w in words]
+    pnet = build_network(8, data_keys=keys, replication=1, seed=seed)
+    bulk_load(pnet, [(k, w, w) for k, w in zip(keys, words)])
+    metrics = load_imbalance(pnet)
+    assert metrics["max"] >= metrics["mean"] >= 0
+    assert 0.0 <= metrics["gini"] <= 1.0
+    if metrics["mean"]:
+        assert metrics["max_over_mean"] >= 1.0

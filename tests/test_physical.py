@@ -1,0 +1,318 @@
+"""Physical operators: every strategy must agree with the reference executor
+and differ only in cost."""
+
+import random
+
+import pytest
+
+from repro.algebra import build_plan, execute_reference, rewrite
+from repro.algebra.operators import PatternScan as LogicalScan
+from repro.bench import ConferenceWorkload
+from repro.errors import PlanningError
+from repro.physical import (
+    AttributeScan,
+    AvLookupScan,
+    AvPrefixScan,
+    AvRangeScan,
+    BroadcastScan,
+    ExecutionContext,
+    IndexNestedLoopJoin,
+    NaiveSimilarityJoin,
+    OidLookupScan,
+    OpResult,
+    QGramScan,
+    QGramSimilarityJoin,
+    RehashJoin,
+    ShipJoin,
+    SkylineOp,
+    TopNOp,
+    VLookupScan,
+)
+from repro.triples import DistributedTripleStore, Triple
+from repro.pgrid import build_network
+from repro.vql import parse
+from repro.vql.ast import Literal, OrderItem, SkylineItem, TriplePattern, Var
+
+
+@pytest.fixture(scope="module")
+def env():
+    """A loaded distributed store + its ground-truth triples + a context."""
+    pnet = build_network(32, replication=2, seed=77, split_by="population")
+    store = DistributedTripleStore(pnet, enable_qgram_index=True)
+    workload = ConferenceWorkload(
+        num_authors=25, num_publications=50, num_conferences=10, seed=77
+    )
+    triples = workload.all_triples()
+    store.bulk_insert(triples)
+    ctx = ExecutionContext(
+        store=store,
+        coordinator=pnet.peers[0],
+        rng=random.Random(77),
+    )
+    return store, triples, ctx
+
+
+def _canonical(rows):
+    """Order-insensitive row comparison form (dict repr depends on insertion)."""
+    return sorted(tuple(sorted((k, repr(v)) for k, v in row.items())) for row in rows)
+
+
+def reference_rows(vql, triples):
+    return _canonical(execute_reference(rewrite(build_plan(parse(vql))), triples))
+
+
+def rows_of(result: OpResult):
+    return _canonical(result.all_bindings())
+
+
+class TestScans:
+    def test_oid_lookup(self, env):
+        store, triples, ctx = env
+        some_oid = triples[0].oid
+        pattern = TriplePattern(Literal(some_oid), Var("p"), Var("o"))
+        result = OidLookupScan(pattern).execute(ctx)
+        expected = [
+            {"p": t.attribute, "o": t.value} for t in triples if t.oid == some_oid
+        ]
+        assert rows_of(result) == _canonical(expected)
+
+    def test_av_lookup(self, env):
+        store, triples, ctx = env
+        year = next(t.value for t in triples if t.attribute == "year")
+        pattern = TriplePattern(Var("s"), Literal("year"), Literal(year))
+        result = AvLookupScan(pattern).execute(ctx)
+        expected = [
+            {"s": t.oid} for t in triples if t.attribute == "year" and t.value == year
+        ]
+        assert rows_of(result) == _canonical(expected)
+
+    def test_av_range(self, env):
+        store, triples, ctx = env
+        pattern = TriplePattern(Var("s"), Literal("age"), Var("v"))
+        result = AvRangeScan(pattern, low=30, high=40, high_inclusive=False).execute(ctx)
+        expected = [
+            {"s": t.oid, "v": t.value}
+            for t in triples
+            if t.attribute == "age" and 30 <= t.value < 40
+        ]
+        assert rows_of(result) == _canonical(expected)
+
+    def test_av_range_sequential_same_rows(self, env):
+        store, _triples, ctx = env
+        pattern = TriplePattern(Var("s"), Literal("age"), Var("v"))
+        shower = AvRangeScan(pattern, low=30, high=50, algorithm="shower").execute(ctx)
+        sequential = AvRangeScan(pattern, low=30, high=50, algorithm="sequential").execute(ctx)
+        assert rows_of(shower) == rows_of(sequential)
+
+    def test_av_prefix(self, env):
+        store, triples, ctx = env
+        pattern = TriplePattern(Var("s"), Literal("confname"), Var("v"))
+        result = AvPrefixScan(pattern, prefix="ICDE").execute(ctx)
+        expected = [
+            {"s": t.oid, "v": t.value}
+            for t in triples
+            if t.attribute == "confname" and str(t.value).startswith("ICDE")
+        ]
+        assert rows_of(result) == _canonical(expected)
+
+    def test_attribute_scan(self, env):
+        store, triples, ctx = env
+        pattern = TriplePattern(Var("s"), Literal("series"), Var("v"))
+        result = AttributeScan(pattern).execute(ctx)
+        expected = [
+            {"s": t.oid, "v": t.value} for t in triples if t.attribute == "series"
+        ]
+        assert rows_of(result) == _canonical(expected)
+
+    def test_v_lookup(self, env):
+        store, triples, ctx = env
+        value = next(t.value for t in triples if t.attribute == "series")
+        pattern = TriplePattern(Var("s"), Var("p"), Literal(value))
+        result = VLookupScan(pattern).execute(ctx)
+        expected = [
+            {"s": t.oid, "p": t.attribute} for t in triples if t.value == value
+        ]
+        assert rows_of(result) == _canonical(expected)
+
+    def test_broadcast_scan_returns_everything(self, env):
+        store, triples, ctx = env
+        pattern = TriplePattern(Var("s"), Var("p"), Var("o"))
+        result = BroadcastScan(pattern).execute(ctx)
+        assert result.total_rows() == len(triples)
+
+    def test_qgram_scan_matches_filtered_attribute_scan(self, env):
+        store, triples, ctx = env
+        target = next(str(t.value) for t in triples if t.attribute == "published_in")
+        pattern = TriplePattern(Var("s"), Literal("published_in"), Var("v"))
+        qgram = QGramScan(pattern, text=target, max_distance=2).execute(ctx)
+        from repro.strings import edit_distance
+
+        expected = [
+            {"s": t.oid, "v": t.value}
+            for t in triples
+            if t.attribute == "published_in"
+            and edit_distance(str(t.value), target) <= 2
+        ]
+        assert rows_of(qgram) == _canonical(expected)
+
+    def test_qgram_scan_message_bound(self, env):
+        import math
+
+        store, triples, ctx = env
+        target = next(str(t.value) for t in triples if t.attribute == "published_in")
+        pattern = TriplePattern(Var("s"), Literal("published_in"), Var("v"))
+        qgram = QGramScan(pattern, text=target, max_distance=1).execute(ctx)
+        # O(|grams| * log N): each gram is one parallel lookup + reply.
+        groups = len(store.pnet.leaf_groups())
+        grams = len(target) + 3 - 1
+        assert qgram.trace.messages <= grams * (2 * math.log2(groups) + 3)
+        # Latency stays that of ONE lookup (parallel probes).
+        assert qgram.trace.hops <= 2 * math.log2(groups) + 3
+
+    def test_qgram_scan_falls_back_when_filter_vacuous(self, env):
+        store, triples, ctx = env
+        pattern = TriplePattern(Var("s"), Literal("series"), Var("v"))
+        # k too large for the string length: the count filter is vacuous.
+        result = QGramScan(pattern, text="IC", max_distance=5).execute(ctx)
+        expected = [
+            {"s": t.oid, "v": t.value} for t in triples if t.attribute == "series"
+        ]
+        assert result.total_rows() == len(expected)
+
+    def test_scan_requires_correct_literals(self, env):
+        _store, _triples, ctx = env
+        var_pattern = TriplePattern(Var("s"), Var("p"), Var("o"))
+        with pytest.raises(PlanningError):
+            OidLookupScan(var_pattern).execute(ctx)
+        with pytest.raises(PlanningError):
+            AvLookupScan(var_pattern).execute(ctx)
+        with pytest.raises(PlanningError):
+            AvRangeScan(var_pattern).execute(ctx)
+
+
+class TestJoinStrategies:
+    @pytest.fixture()
+    def join_parts(self, env):
+        _store, triples, ctx = env
+        left = AttributeScan(TriplePattern(Var("a"), Literal("has_published"), Var("t")))
+        right_pattern = TriplePattern(Var("p"), Literal("title"), Var("t"))
+        right = AttributeScan(right_pattern)
+        expected = reference_rows(
+            "SELECT * WHERE {(?a,'has_published',?t) (?p,'title',?t)}", triples
+        )
+        return ctx, left, right, right_pattern, expected
+
+    def test_ship_join(self, join_parts):
+        ctx, left, right, _rp, expected = join_parts
+        result = ShipJoin(left, right).execute(ctx)
+        assert rows_of(result) == expected
+
+    def test_index_nl_join(self, join_parts):
+        ctx, left, right, right_pattern, expected = join_parts
+        result = IndexNestedLoopJoin(left, right, right_pattern=right_pattern).execute(ctx)
+        assert rows_of(result) == expected
+
+    def test_rehash_join(self, join_parts):
+        ctx, left, right, _rp, expected = join_parts
+        result = RehashJoin(left, right).execute(ctx)
+        assert rows_of(result) == expected
+
+    def test_strategies_have_different_costs(self, join_parts):
+        ctx, left, right, right_pattern, _expected = join_parts
+        ship = ShipJoin(left, right).execute(ctx)
+        nl = IndexNestedLoopJoin(left, right, right_pattern=right_pattern).execute(ctx)
+        rehash = RehashJoin(left, right).execute(ctx)
+        costs = {ship.trace.messages, nl.trace.messages, rehash.trace.messages}
+        assert len(costs) >= 2, "strategies should differ in traffic"
+
+    def test_join_on_subject_via_oid_probe(self, env):
+        _store, triples, ctx = env
+        left = AttributeScan(TriplePattern(Var("a"), Literal("name"), Var("n")))
+        right_pattern = TriplePattern(Var("a"), Literal("age"), Var("g"))
+        result = IndexNestedLoopJoin(
+            left, AttributeScan(right_pattern), right_pattern=right_pattern
+        ).execute(ctx)
+        expected = reference_rows(
+            "SELECT * WHERE {(?a,'name',?n) (?a,'age',?g)}", triples
+        )
+        assert rows_of(result) == expected
+
+    def test_rehash_falls_back_on_cartesian(self, env):
+        _store, _triples, ctx = env
+        left = AttributeScan(TriplePattern(Var("a"), Literal("series"), Var("x")))
+        right = AttributeScan(TriplePattern(Var("b"), Literal("areaname"), Var("y")))
+        result = RehashJoin(left, right).execute(ctx)
+        ship = ShipJoin(left, right).execute(ctx)
+        assert rows_of(result) == rows_of(ship)
+
+
+class TestSimilarityJoins:
+    def test_naive_and_qgram_agree(self, env):
+        _store, triples, ctx = env
+        left = AttributeScan(
+            TriplePattern(Var("p"), Literal("published_in"), Var("c"))
+        )
+        right_pattern = TriplePattern(Var("k"), Literal("confname"), Var("cn"))
+        naive = NaiveSimilarityJoin(
+            left, AttributeScan(right_pattern), Var("c"), Var("cn"), 1
+        ).execute(ctx)
+        qgram = QGramSimilarityJoin(
+            left,
+            right_pattern=right_pattern,
+            left_variable=Var("c"),
+            right_variable=Var("cn"),
+            max_distance=1,
+        ).execute(ctx)
+        assert rows_of(naive) == rows_of(qgram)
+        assert naive.total_rows() > 0  # typos guarantee fuzzy matches
+
+
+class TestRanking:
+    def test_topn_prune_equals_naive(self, env):
+        _store, _triples, ctx = env
+        child = AttributeScan(TriplePattern(Var("a"), Literal("age"), Var("v")))
+        items = (OrderItem(Var("v"), descending=True),)
+        pruned = TopNOp(child, items, n=5, prune=True).execute(ctx)
+        naive = TopNOp(child, items, n=5, prune=False).execute(ctx)
+        assert [r["v"] for r in pruned.all_bindings()] == [
+            r["v"] for r in naive.all_bindings()
+        ]
+
+    def test_topn_prune_ships_fewer_bytes(self, env):
+        store, _triples, ctx = env
+        child = AttributeScan(TriplePattern(Var("a"), Literal("age"), Var("v")))
+        items = (OrderItem(Var("v")),)
+        before = store.pnet.net.stats.bytes
+        TopNOp(child, items, n=2, prune=True).execute(ctx)
+        pruned_bytes = store.pnet.net.stats.bytes - before
+        before = store.pnet.net.stats.bytes
+        TopNOp(child, items, n=2, prune=False).execute(ctx)
+        naive_bytes = store.pnet.net.stats.bytes - before
+        assert pruned_bytes < naive_bytes
+
+    def test_skyline_prune_equals_naive(self, env):
+        _store, triples, ctx = env
+        plan_text = (
+            "SELECT * WHERE {(?a,'age',?g) (?a,'num_of_pubs',?n)}"
+        )
+        base_left = AttributeScan(TriplePattern(Var("a"), Literal("age"), Var("g")))
+        base_right_pattern = TriplePattern(Var("a"), Literal("num_of_pubs"), Var("n"))
+        child = IndexNestedLoopJoin(
+            base_left, AttributeScan(base_right_pattern),
+            right_pattern=base_right_pattern,
+        )
+        items = (SkylineItem(Var("g"), maximize=False), SkylineItem(Var("n"), maximize=True))
+        pruned = SkylineOp(child, items, prune=True).execute(ctx)
+        naive = SkylineOp(child, items, prune=False).execute(ctx)
+        assert rows_of(pruned) == rows_of(naive)
+
+    def test_skyline_result_is_nondominated(self, env):
+        from repro.algebra.semantics import dominates, skyline_values
+
+        _store, _triples, ctx = env
+        child = AttributeScan(TriplePattern(Var("a"), Literal("age"), Var("v")))
+        items = (SkylineItem(Var("v"), maximize=False),)
+        result = SkylineOp(child, items).execute(ctx)
+        vectors = [skyline_values(r, items) for r in result.all_bindings()]
+        for a in vectors:
+            assert not any(dominates(b, a, items) for b in vectors)

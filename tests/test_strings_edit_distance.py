@@ -1,0 +1,102 @@
+"""Unit and property tests for the Levenshtein implementations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings import edit_distance, edit_distance_within
+
+WORDS = st.text(alphabet="abcdef", max_size=12)
+
+
+class TestEditDistanceBasics:
+    def test_identical_strings(self):
+        assert edit_distance("icde", "icde") == 0
+
+    def test_empty_vs_word(self):
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("abc", "") == 3
+
+    def test_both_empty(self):
+        assert edit_distance("", "") == 0
+
+    def test_single_substitution(self):
+        assert edit_distance("cat", "car") == 1
+
+    def test_single_insertion(self):
+        assert edit_distance("cat", "cart") == 1
+
+    def test_single_deletion(self):
+        assert edit_distance("cart", "cat") == 1
+
+    def test_paper_example_vldb_icde(self):
+        # Used in the paper's FILTER example: edist(?sr,'ICDE')<3
+        assert edit_distance("VLDB", "ICDE") == 3
+
+    def test_kitten_sitting(self):
+        assert edit_distance("kitten", "sitting") == 3
+
+    def test_transposition_costs_two(self):
+        # Plain Levenshtein has no transposition operation.
+        assert edit_distance("ab", "ba") == 2
+
+
+class TestEditDistanceWithin:
+    def test_exact_match_bound_zero(self):
+        assert edit_distance_within("abc", "abc", 0) == 0
+
+    def test_mismatch_bound_zero(self):
+        assert edit_distance_within("abc", "abd", 0) is None
+
+    def test_negative_bound(self):
+        assert edit_distance_within("a", "a", -1) is None
+
+    def test_within_bound(self):
+        assert edit_distance_within("kitten", "sitting", 3) == 3
+
+    def test_just_outside_bound(self):
+        assert edit_distance_within("kitten", "sitting", 2) is None
+
+    def test_length_difference_prunes_early(self):
+        assert edit_distance_within("a", "a" * 50, 3) is None
+
+    def test_empty_against_short(self):
+        assert edit_distance_within("", "ab", 2) == 2
+        assert edit_distance_within("", "abc", 2) is None
+
+
+class TestEditDistanceProperties:
+    @given(WORDS, WORDS)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @given(WORDS)
+    def test_identity(self, a):
+        assert edit_distance(a, a) == 0
+
+    @given(WORDS, WORDS)
+    def test_length_difference_lower_bound(self, a, b):
+        assert edit_distance(a, b) >= abs(len(a) - len(b))
+
+    @given(WORDS, WORDS)
+    def test_max_length_upper_bound(self, a, b):
+        assert edit_distance(a, b) <= max(len(a), len(b))
+
+    @given(WORDS, WORDS, WORDS)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    @given(WORDS, WORDS, st.integers(min_value=0, max_value=6))
+    def test_banded_agrees_with_full(self, a, b, k):
+        full = edit_distance(a, b)
+        banded = edit_distance_within(a, b, k)
+        if full <= k:
+            assert banded == full
+        else:
+            assert banded is None
+
+    @given(WORDS, st.integers(min_value=0, max_value=3))
+    def test_positive_distance_for_distinct(self, a, extra):
+        b = a + "z" * (extra + 1)
+        assert edit_distance(a, b) == extra + 1

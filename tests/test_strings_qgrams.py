@@ -1,0 +1,97 @@
+"""q-gram extraction and the count filter's soundness guarantee."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.strings import (
+    PAD_CHAR,
+    count_filter_threshold,
+    distinct_count_filter_threshold,
+    edit_distance,
+    positional_qgrams,
+    qgram_overlap,
+    qgrams,
+)
+
+WORDS = st.text(alphabet="abcd", min_size=0, max_size=10)
+
+
+class TestQGramExtraction:
+    def test_padded_gram_count(self):
+        # A padded string of length n yields n + q - 1 grams.
+        assert len(qgrams("icde", q=3)) == 4 + 3 - 1
+
+    def test_padding_characters_present(self):
+        grams = qgrams("ab", q=3)
+        assert grams[0] == PAD_CHAR * 2 + "a"
+        assert grams[-1] == "b" + PAD_CHAR * 2
+
+    def test_unpadded_short_string_yields_nothing(self):
+        assert qgrams("ab", q=3, pad=False) == []
+
+    def test_unpadded_gram_count(self):
+        assert qgrams("abcde", q=3, pad=False) == ["abc", "bcd", "cde"]
+
+    def test_q1_is_characters(self):
+        assert qgrams("abc", q=1) == ["a", "b", "c"]
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", q=0)
+
+    def test_positional_grams_enumerate(self):
+        grams = positional_qgrams("ab", q=2)
+        assert grams[0][0] == 0
+        assert [g for _i, g in grams] == qgrams("ab", q=2)
+
+    def test_empty_string_padded(self):
+        # Only pad characters: q-1 grams of pure padding... length 0+q-1.
+        assert len(qgrams("", q=3)) == 2
+
+
+class TestOverlap:
+    def test_identical_full_overlap(self):
+        assert qgram_overlap("icde", "icde", q=3) == len(qgrams("icde", q=3))
+
+    def test_disjoint_strings(self):
+        assert qgram_overlap("aaaa", "zzzz", q=3) == 0
+
+    def test_multiset_semantics(self):
+        # 'aaaa' -> {pad-a:1, aa:3, a-pad:1}; 'aaa' -> {pad-a:1, aa:2, a-pad:1};
+        # multiset intersection = 1 + 2 + 1 = 4.
+        assert qgram_overlap("aaaa", "aaa", q=2) == 4
+
+
+class TestCountFilterThresholds:
+    def test_classic_formula(self):
+        # |query| + q - 1 - k*q
+        assert count_filter_threshold("icde", q=3, k=1) == 4 + 2 - 3
+
+    def test_vacuous_threshold_clamped(self):
+        assert count_filter_threshold("ab", q=3, k=2) == 0
+
+    def test_distinct_no_repeats_matches_classic(self):
+        assert distinct_count_filter_threshold("abcdef", 3, 1) == count_filter_threshold(
+            "abcdef", 3, 1
+        )
+
+    def test_distinct_with_repeats_is_weaker(self):
+        assert distinct_count_filter_threshold("aaaaaa", 3, 1) <= count_filter_threshold(
+            "aaaaaa", 3, 1
+        )
+
+    @given(WORDS, WORDS, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=150)
+    def test_multiset_filter_soundness(self, a, b, k):
+        """No false dismissals: strings within distance k share >= threshold grams."""
+        if edit_distance(a, b) <= k:
+            assert qgram_overlap(a, b, q=3) >= count_filter_threshold(a, 3, k)
+
+    @given(WORDS, WORDS, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=150)
+    def test_distinct_filter_soundness(self, a, b, k):
+        """The distinct-gram variant (used by the index) is also sound."""
+        if edit_distance(a, b) <= k:
+            shared_distinct = len(set(qgrams(a, q=3)) & set(qgrams(b, q=3)))
+            assert shared_distinct >= distinct_count_filter_threshold(a, 3, k)

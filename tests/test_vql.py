@@ -1,0 +1,180 @@
+"""VQL lexer and parser."""
+
+import pytest
+
+from repro.errors import VQLSyntaxError
+from repro.vql import (
+    BoolOp,
+    Comparison,
+    FunctionCall,
+    Literal,
+    Not,
+    Var,
+    parse,
+    tokenize,
+)
+from repro.vql.tokens import TokenType
+
+PAPER_QUERY = """
+SELECT ?name,?age,?cnt
+WHERE {(?a,'name',?name) (?a,'age',?age)
+ (?a,'num_of_pubs',?cnt)
+ (?a,'has_published',?title) (?p,'title',?title)
+ (?p,'published_in',?conf) (?c,'confname',?conf)
+ (?c,'series',?sr) FILTER edist(?sr,'ICDE')<3
+}
+ORDER BY SKYLINE OF ?age MIN, ?cnt MAX
+"""
+
+
+class TestLexer:
+    def test_variables(self):
+        tokens = tokenize("?abc ?x_1")
+        assert [t.value for t in tokens[:-1]] == ["abc", "x_1"]
+        assert all(t.type is TokenType.VARIABLE for t in tokens[:-1])
+
+    def test_strings_with_both_quotes(self):
+        tokens = tokenize("'single' \"double\"")
+        assert [t.value for t in tokens[:-1]] == ["single", "double"]
+
+    def test_string_escapes(self):
+        tokens = tokenize(r"'it\'s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(VQLSyntaxError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("42 -7 3.14")
+        assert [t.value for t in tokens[:-1]] == [42, -7, 3.14]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select SeLeCt SELECT")
+        assert all(t.type is TokenType.SELECT for t in tokens[:-1])
+
+    def test_identifiers_keep_namespace_chars(self):
+        tokens = tokenize("edist dblp:title foo.bar")
+        assert [t.value for t in tokens[:-1]] == ["edist", "dblp:title", "foo.bar"]
+
+    def test_comments_ignored(self):
+        tokens = tokenize("SELECT # a comment\n?x")
+        assert [t.type for t in tokens] == [
+            TokenType.SELECT,
+            TokenType.VARIABLE,
+            TokenType.EOF,
+        ]
+
+    def test_operators(self):
+        tokens = tokenize("= != < <= > >= && ||")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.EQ, TokenType.NEQ, TokenType.LT, TokenType.LE,
+            TokenType.GT, TokenType.GE, TokenType.AND, TokenType.OR,
+        ]
+
+    def test_position_tracking(self):
+        tokens = tokenize("SELECT\n  ?x")
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(VQLSyntaxError) as excinfo:
+            tokenize("SELECT @")
+        assert "@" in str(excinfo.value)
+
+
+class TestParser:
+    def test_paper_query_verbatim(self):
+        query = parse(PAPER_QUERY)
+        assert [v.name for v in query.select] == ["name", "age", "cnt"]
+        assert len(query.groups) == 1
+        group = query.groups[0]
+        assert len(group.patterns) == 8
+        assert len(group.filters) == 1
+        assert isinstance(group.filters[0], Comparison)
+        assert query.skyline[0].variable.name == "age"
+        assert query.skyline[0].maximize is False
+        assert query.skyline[1].maximize is True
+
+    def test_select_star(self):
+        query = parse("SELECT * WHERE {(?s,?p,?o)}")
+        assert query.select_star()
+
+    def test_select_distinct(self):
+        query = parse("SELECT DISTINCT ?x WHERE {(?x,'a',1)}")
+        assert query.distinct
+
+    def test_literals_in_patterns(self):
+        query = parse("SELECT ?x WHERE {(?x, 'age', 30)}")
+        pattern = query.groups[0].patterns[0]
+        assert pattern.predicate == Literal("age")
+        assert pattern.object == Literal(30)
+
+    def test_order_by_directions(self):
+        query = parse("SELECT ?x WHERE {(?x,'a',?v)} ORDER BY ?v DESC, ?x")
+        assert query.order_by[0].descending is True
+        assert query.order_by[1].descending is False
+
+    def test_limit_offset(self):
+        query = parse("SELECT ?x WHERE {(?x,'a',?v)} LIMIT 5 OFFSET 10")
+        assert query.limit == 5 and query.offset == 10
+
+    def test_union_groups(self):
+        query = parse("SELECT ?x WHERE {(?x,'a',1)} UNION {(?x,'b',2)}")
+        assert len(query.groups) == 2
+
+    def test_optional_group(self):
+        query = parse("SELECT ?x WHERE {(?x,'a',1) OPTIONAL {(?x,'b',?y)}}")
+        assert len(query.groups[0].optionals) == 1
+
+    def test_filter_boolean_operators(self):
+        query = parse(
+            "SELECT ?x WHERE {(?x,'a',?v) FILTER ?v > 1 AND ?v < 9 OR NOT ?v = 5}"
+        )
+        expr = query.groups[0].filters[0]
+        assert isinstance(expr, BoolOp) and expr.op == "or"
+        assert isinstance(expr.operands[1], Not)
+
+    def test_function_call_arguments(self):
+        query = parse("SELECT ?x WHERE {(?x,'n',?s) FILTER contains(?s, 'abc')}")
+        call = query.groups[0].filters[0]
+        assert isinstance(call, FunctionCall)
+        assert call.name == "contains"
+        assert call.args == (Var("s"), Literal("abc"))
+
+    def test_parenthesized_expression(self):
+        query = parse("SELECT ?x WHERE {(?x,'a',?v) FILTER (?v > 1 OR ?v < 0) AND ?v != 5}")
+        expr = query.groups[0].filters[0]
+        assert isinstance(expr, BoolOp) and expr.op == "and"
+
+    def test_skyline_requires_direction(self):
+        with pytest.raises(VQLSyntaxError):
+            parse("SELECT ?x WHERE {(?x,'a',?v)} ORDER BY SKYLINE OF ?v")
+
+    def test_missing_where(self):
+        with pytest.raises(VQLSyntaxError):
+            parse("SELECT ?x {(?x,'a',1)}")
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(VQLSyntaxError):
+            parse("SELECT ?x WHERE {}")
+
+    def test_unclosed_group(self):
+        with pytest.raises(VQLSyntaxError):
+            parse("SELECT ?x WHERE {(?x,'a',1)")
+
+    def test_pattern_arity_enforced(self):
+        with pytest.raises(VQLSyntaxError):
+            parse("SELECT ?x WHERE {(?x,'a')}")
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(VQLSyntaxError):
+            parse("SELECT ?x WHERE {(?x,'a',1)} LIMIT -1")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(VQLSyntaxError):
+            parse("SELECT ?x WHERE {(?x,'a',1)} BOGUS extra")
+
+    def test_error_carries_position(self):
+        with pytest.raises(VQLSyntaxError) as excinfo:
+            parse("SELECT ?x\nWHERE {(?x 'a', 1)}")
+        assert excinfo.value.line == 2
