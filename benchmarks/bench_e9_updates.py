@@ -7,16 +7,23 @@ are updated (push phase reaches online replicas only); the offline peers
 come back; anti-entropy rounds (pull phase) reconcile.  Reported: staleness
 (fraction of replica copies behind the latest version) after the push and
 after each gossip round — the claim is convergence, not instant consistency.
+
+E9b (batched ingest) measures the write-path counterpart: routed messages
+per tuple when tuples are published through the destination-grouped bulk
+inserts at batch sizes 1 / 10 / 100.  Set ``UNISTORE_QUICK=1`` for the CI
+smoke configuration (smaller overlay; same tuple count and batch sizes).
 """
 
 from __future__ import annotations
 
+import os
 import random
 import string
 
 import pytest
 
-from repro.bench import ResultTable
+from repro import UniStore
+from repro.bench import ResultTable, batched, ingest_tuples
 from repro.net.churn import ChurnModel
 from repro.pgrid import (
     anti_entropy_round,
@@ -28,11 +35,17 @@ from repro.pgrid import (
 
 from conftest import emit
 
+QUICK = bool(os.environ.get("UNISTORE_QUICK"))
+
 NUM_PEERS = 128
 REPLICATION = 4
 NUM_FACTS = 60
 OFFLINE_FRACTIONS = [0.0, 0.2, 0.4, 0.6]
 MAX_ROUNDS = 8
+
+INGEST_PEERS = 32 if QUICK else 64
+INGEST_TUPLES = 100
+BATCH_SIZES = [1, 10, 100]
 
 
 def _facts(seed: int) -> list[str]:
@@ -96,3 +109,46 @@ def test_e9_updates_converge_via_anti_entropy(benchmark):
         )
 
     benchmark.pedantic(lambda: anti_entropy_round(bench_env), rounds=3, iterations=1)
+
+
+def test_e9b_batched_ingest_messages_per_tuple(benchmark):
+    """Destination-grouped batching amortizes routing across the batch.
+
+    The same 100 tuples are ingested from one gateway peer at batch sizes
+    1 / 10 / 100; routed messages per tuple must drop at least 2x between
+    size 1 and size 100, while the stored data stays identical.
+    """
+    table = ResultTable(
+        f"E9b: batched ingest cost ({INGEST_PEERS} peers, r=2, "
+        f"{INGEST_TUPLES} tuples, 12 postings each)",
+        ["batch size", "messages", "msg/tuple"],
+    )
+    per_tuple: dict[int, float] = {}
+    entry_counts: dict[int, int] = {}
+    bench_store = None
+    for batch_size in BATCH_SIZES:
+        store = UniStore.build(num_peers=INGEST_PEERS, replication=2, seed=7)
+        gateway = store.pnet.peers[0]
+        tuples = ingest_tuples(INGEST_TUPLES, seed=7)
+        with store.pnet.net.frame() as frame:
+            for chunk in batched(tuples, batch_size):
+                store.insert_tuples(chunk, start=gateway)
+        per_tuple[batch_size] = frame.messages / INGEST_TUPLES
+        entry_counts[batch_size] = len(store.pnet.all_entries())
+        table.add_row(batch_size, frame.messages, round(per_tuple[batch_size], 1))
+        if batch_size == BATCH_SIZES[-1]:
+            bench_store = store
+    emit(table)
+
+    # Identical data lands in the overlay regardless of batch size.
+    assert len(set(entry_counts.values())) == 1
+    # The batching win the tentpole claims: >= 2x fewer messages per tuple.
+    assert per_tuple[100] * 2 <= per_tuple[1], per_tuple
+    assert per_tuple[10] < per_tuple[1], per_tuple
+
+    extra = ingest_tuples(10, seed=77)
+    benchmark.pedantic(
+        lambda: bench_store.insert_tuples(extra, start=bench_store.pnet.peers[0]),
+        rounds=3,
+        iterations=1,
+    )

@@ -11,6 +11,8 @@ from repro.bench.workloads import (
     AREAS,
     SERIES,
     ConferenceWorkload,
+    batched,
+    ingest_tuples,
     inject_typo,
     make_name,
     make_title,
@@ -22,6 +24,8 @@ __all__ = [
     "ConferenceWorkload",
     "zipf_values",
     "skewed_strings",
+    "batched",
+    "ingest_tuples",
     "inject_typo",
     "make_name",
     "make_title",

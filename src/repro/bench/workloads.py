@@ -86,6 +86,36 @@ def skewed_strings(count: int, s: float, seed: int = 0, alphabet_size: int = 26)
     return result
 
 
+def ingest_tuples(count: int, seed: int = 0) -> list[dict[str, Value]]:
+    """Publication-like tuples for the batched-ingest scenario (E9b).
+
+    Each tuple decomposes into four triples (12 postings under the default
+    indexes), so messages/tuple directly exposes the routing amortization of
+    the destination-grouped bulk inserts.
+    """
+    rng = random.Random(seed)
+    tuples: list[dict[str, Value]] = []
+    for index in range(count):
+        series = rng.choice(SERIES)
+        year = 2000 + rng.randrange(7)
+        tuples.append(
+            {
+                "title": f"{make_title(rng)} #{index}",
+                "published_in": f"{series} {year}",
+                "year": year,
+                "classified_in": rng.choice(AREAS),
+            }
+        )
+    return tuples
+
+
+def batched(items: list, size: int) -> list[list]:
+    """Split ``items`` into consecutive chunks of ``size`` (last may be short)."""
+    if size < 1:
+        raise ValueError("batch size must be >= 1")
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
 def make_name(rng: random.Random) -> str:
     return "".join(rng.choice(_SYLLABLES) for _ in range(3)).capitalize()
 

@@ -112,6 +112,31 @@ class UniStore:
         self._stats = None
         return oid, trace
 
+    def insert_tuples(
+        self,
+        tuples: list[dict[str, Value]],
+        oid_prefix: str = "oid",
+        start: PGridPeer | None = None,
+    ) -> tuple[list[str], Trace]:
+        """Message-accounted batched ingest of many logical tuples.
+
+        All postings of the batch are published through one
+        destination-grouped bulk insert, so routed messages per tuple shrink
+        as the batch grows (contrast :meth:`bulk_load_tuples`, which is an
+        oracle placement with no messages at all).  ``start`` pins the
+        ingesting gateway peer; by default a random online peer ingests.
+        Returns the generated OIDs and the combined trace.
+        """
+        batch: list[tuple[str, dict[str, Value]]] = []
+        oids: list[str] = []
+        for values in tuples:
+            oid = self.new_oid(oid_prefix)
+            oids.append(oid)
+            batch.append((oid, values))  # None values dropped by decomposition
+        _triples, trace = self.store.insert_tuples_batch(batch, start=start)
+        self._stats = None
+        return oids, trace
+
     def insert_triple(self, triple: Triple) -> Trace:
         """Publish one RDF-style triple ("RDF data can be stored seamlessly")."""
         trace = self.store.insert(triple)

@@ -30,15 +30,13 @@ from repro.algebra.operators import PatternScan
 from repro.algebra.semantics import (
     Binding,
     join_key,
-    match_pattern,
     merge_bindings,
 )
 from repro.mqp.plan import MutantQueryPlan
 from repro.optimizer.adaptive import Step, choose_next_step
 from repro.optimizer.cost_model import CostModel
-from repro.physical.base import ExecutionContext
+from repro.physical.base import ExecutionContext, match_postings
 from repro.triples.index import IndexKind, av_key, oid_key, v_key
-from repro.triples.store import Posting
 from repro.vql.ast import Expression, expression_variables
 
 
@@ -105,40 +103,42 @@ def execute_mutant_plan(
 
 
 def _probe(ctx: ExecutionContext, plan: MutantQueryPlan, step: Step) -> Trace:
-    """Per-distinct-value index lookups issued from the plan's location."""
+    """Index probes for every distinct bound value, batched by destination.
+
+    All probe keys go through one :meth:`PGridNetwork.lookup_many`, so keys
+    whose responsible regions coincide share a single route and reply
+    instead of one O(log N) lookup each.
+    """
     assert plan.bindings is not None and step.shared_variable is not None
     pattern = step.scan.pattern
     holder = ctx.pnet.net.nodes[plan.location]
     variable = step.shared_variable
     values = {row[variable] for row in plan.bindings if variable in row}
 
-    matches_by_value: dict[object, list[Binding]] = defaultdict(list)
-    branches: list[Trace] = []
+    key_for_value: dict[object, tuple[str, IndexKind]] = {}
     for value in values:
         if step.method == "probe-oid":
-            if not isinstance(value, str):
-                continue
-            key, kind = oid_key(value), IndexKind.OID
+            # OIDs are strings; coerce like oid_key's other call sites so a
+            # numeric join value probes the same key instead of being dropped.
+            key_for_value[value] = (oid_key(str(value)), IndexKind.OID)
         elif step.method == "probe-av":
-            key, kind = av_key(str(pattern.predicate.value), value), IndexKind.AV  # type: ignore[union-attr]
+            key_for_value[value] = (
+                av_key(str(pattern.predicate.value), value),  # type: ignore[union-attr]
+                IndexKind.AV,
+            )
         else:  # probe-v
-            key, kind = v_key(value), IndexKind.V
-        entries, lookup_trace = ctx.pnet.lookup(key, start=holder, kind="mqp-probe")
-        branches.append(lookup_trace)
-        seen = set()
-        for entry in entries:
-            posting = entry.value
-            if not isinstance(posting, Posting) or posting.kind is not kind:
-                continue
-            identity = posting.triple.as_tuple()
-            if identity in seen:
-                continue
-            seen.add(identity)
-            binding = match_pattern(pattern, posting.triple)
-            if binding is None or binding.get(variable) != value:
-                continue
-            if all(satisfies(f, binding) for f in step.scan.filters):
-                matches_by_value[value].append(binding)
+            key_for_value[value] = (v_key(value), IndexKind.V)
+
+    entries_by_key, trace = ctx.pnet.lookup_many(
+        [key for key, _kind in key_for_value.values()], start=holder, kind="mqp-probe"
+    )
+
+    matches_by_value: dict[object, list[Binding]] = {}
+    for value, (key, kind) in key_for_value.items():
+        matches_by_value[value] = match_postings(
+            entries_by_key.get(key, []), pattern, kind, variable, value,
+            step.scan.filters,
+        )
 
     joined: list[Binding] = []
     for row in plan.bindings:
@@ -146,7 +146,7 @@ def _probe(ctx: ExecutionContext, plan: MutantQueryPlan, step: Step) -> Trace:
             if all(match.get(k, v) == v for k, v in row.items() if k in match):
                 joined.append(merge_bindings(row, match))
     plan.bindings = joined
-    return Trace.parallel(branches) if branches else Trace.ZERO
+    return trace
 
 
 def _scan_and_migrate(
@@ -162,7 +162,7 @@ def _scan_and_migrate(
         PlannerConfig(),
         qgram_available=ctx.store.enable_qgram_index,
     )
-    planned = planner._plan(step.scan)  # scan strategies only — safe internal use
+    planned = planner.plan_scan(step.scan)
     result = planned.op.execute(sub_ctx)
 
     # The plan migrates to the peer holding the largest share of the scan's

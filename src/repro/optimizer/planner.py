@@ -122,6 +122,15 @@ class Planner:
         planned = self._plan(logical)
         return CollectOp(planned.op), planned.cost
 
+    def plan_scan(self, scan: PatternScan) -> Planned:
+        """Plan a single pattern scan — the physical access path plus its
+        estimates, without a collector root.
+
+        Public entry point for callers that execute scans piecemeal (the
+        mutant-query-plan executor re-plans one pending scan per stop).
+        """
+        return self._plan_scan(scan)
+
     # -- dispatch ------------------------------------------------------------------
 
     def _plan(self, node: LogicalPlan) -> Planned:

@@ -46,7 +46,13 @@ from repro.pgrid.replication import (
     online_coverage,
     replication_factor,
 )
-from repro.pgrid.routing import route
+from repro.pgrid.routing import (
+    RouteCache,
+    point_key,
+    replay_hops,
+    route,
+    route_hops,
+)
 from repro.pgrid.updates import anti_entropy_round, staleness, sync_pair
 
 __all__ = [
@@ -63,6 +69,10 @@ __all__ = [
     "balanced_paths",
     "data_split_paths",
     "route",
+    "route_hops",
+    "replay_hops",
+    "point_key",
+    "RouteCache",
     "range_query_shower",
     "range_query_sequential",
     "rebalance",

@@ -76,10 +76,13 @@ class PGridPeer(Node):
         fanout: int = DEFAULT_FANOUT,
     ):
         super().__init__(node_id, network)
+        from repro.pgrid.routing import RouteCache  # deferred: routing imports peer
+
         self.path = validate_key(path)
         self.routing = RoutingTable(fanout=fanout)
         self.replicas: list[str] = []  # peer ids sharing self.path (excluding self)
         self.store = DataStore()
+        self.route_cache = RouteCache()
 
     # -- trie position -------------------------------------------------------
 

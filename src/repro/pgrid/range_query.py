@@ -29,7 +29,7 @@ from repro.pgrid.datastore import Entry
 from repro.pgrid.keys import KeyRange, increment_path
 from repro.pgrid.network import PGridNetwork
 from repro.pgrid.peer import PGridPeer
-from repro.pgrid.routing import route
+from repro.pgrid.routing import point_key, route
 
 
 def range_query_shower(
@@ -197,10 +197,10 @@ def _sequential_walk(
     return entries, trace, complete
 
 
-def _left_edge(key: str, depth: int = 64) -> str:
+def _left_edge(key: str) -> str:
     """Zero-pad a short key so routing lands on the *leftmost* leaf covering it.
 
     Routing toward the bare prefix may stop at any peer inside the prefix's
     subtree; the sequential traversal needs the left edge specifically.
     """
-    return key + "0" * depth
+    return point_key(key)

@@ -10,20 +10,118 @@ Fault tolerance: offline/stale references are skipped; when *all* references
 at the needed level are unusable the router detours through an online replica
 of the current peer (replicas sample their references independently), and
 fails with :class:`RoutingError` only when no progress is possible at all.
+
+Two refinements over plain hop-by-hop routing support the batched data
+operations in :mod:`repro.pgrid.network`:
+
+* **route caching** — every peer keeps a :class:`RouteCache` mapping
+  key-space prefixes (the paths of previously reached destinations) to the
+  destination's address.  A cache hit turns an O(log N) route into one
+  direct message.  Entries are validated at use time and evicted when the
+  cached peer churned away (went offline, changed path, disappeared); a
+  routing dead-end (offline detour) invalidates the covering entry too.
+
+* **deferred accounting** — :func:`route_hops` discovers the hop sequence
+  without sending anything, so bulk operations can group keys by destination
+  first and then charge each route *once per region* with the region's real
+  batch size (:func:`replay_hops`).
 """
 
 from __future__ import annotations
 
 import random
+from collections import OrderedDict
+from typing import TYPE_CHECKING
 
 from repro.errors import RoutingError
 from repro.net.trace import Trace
 from repro.pgrid.keys import common_prefix_length, responsible
 from repro.pgrid.peer import PGridPeer
 
+if TYPE_CHECKING:
+    from repro.net.network import Network
+
 #: Hard bound on route length; ordinary routes are O(log N) so hitting this
 #: indicates a broken overlay rather than a long route.
 MAX_HOPS = 256
+
+#: Zero-padding depth for :func:`point_key`; deeper than any realistic trie
+#: (the oracle builder caps paths at 48 bits).
+POINT_PAD_DEPTH = 64
+
+
+def point_key(key: str, depth: int = POINT_PAD_DEPTH) -> str:
+    """Zero-pad ``key`` so routing lands on the leaf covering its *point*.
+
+    A bare key routed through :func:`route` may stop at any peer inside the
+    key's subtree (the acceptable entry points for prefix queries).  Data
+    operations need the exact leaf responsible for the key as a point in
+    ``[0, 1)`` — the leftmost leaf under the key — which the zero-padded key
+    routes to even when the trie is split deeper than the key is long.
+    """
+    return key + "0" * depth
+
+
+class RouteCache:
+    """Per-peer memory of last-known destinations, keyed by destination path.
+
+    A successful route towards ``key`` learns that the peer whose path ``π``
+    prefixes ``key`` currently answers for that region; the next route to any
+    key under ``π`` tries that peer with a single direct message (the
+    underlying network is point-to-point — P-Grid peers may contact any
+    address they know).  Entries are *validated at use*: the cached peer must
+    still exist, be online, and still sit at the cached path, otherwise the
+    entry is evicted.  Bounded LRU.
+    """
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._dest_by_prefix: OrderedDict[str, str] = OrderedDict()
+        self._max_prefix = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._dest_by_prefix)
+
+    def get(self, key: str) -> tuple[str, str] | None:
+        """Longest cached ``(prefix, peer_id)`` whose prefix covers ``key``."""
+        for length in range(min(len(key), self._max_prefix), -1, -1):
+            prefix = key[:length]
+            peer_id = self._dest_by_prefix.get(prefix)
+            if peer_id is not None:
+                self._dest_by_prefix.move_to_end(prefix)
+                return prefix, peer_id
+        return None
+
+    def put(self, prefix: str, peer_id: str) -> None:
+        self._dest_by_prefix[prefix] = peer_id
+        self._dest_by_prefix.move_to_end(prefix)
+        self._max_prefix = max(self._max_prefix, len(prefix))
+        while len(self._dest_by_prefix) > self.capacity:
+            self._dest_by_prefix.popitem(last=False)
+
+    def invalidate(self, prefix: str) -> None:
+        """Drop the entry stored under exactly ``prefix`` (if any)."""
+        if self._dest_by_prefix.pop(prefix, None) is not None:
+            self.evictions += 1
+
+    def invalidate_key(self, key: str) -> None:
+        """Drop every cached entry whose prefix covers ``key``."""
+        for prefix in [p for p in self._dest_by_prefix if key.startswith(p)]:
+            self.invalidate(prefix)
+
+    def invalidate_peer(self, peer_id: str) -> None:
+        """Drop every entry pointing at ``peer_id`` (e.g. it announced leaving)."""
+        for prefix in [p for p, d in self._dest_by_prefix.items() if d == peer_id]:
+            self.invalidate(prefix)
+
+    def clear(self) -> None:
+        self._dest_by_prefix.clear()
+        self._max_prefix = 0
 
 
 def is_destination(peer: PGridPeer, key: str) -> bool:
@@ -37,12 +135,106 @@ def is_destination(peer: PGridPeer, key: str) -> bool:
     return responsible(peer.path, key) or peer.path.startswith(key)
 
 
+def _cached_destination(start: PGridPeer, key: str) -> PGridPeer | None:
+    """Consult ``start``'s route cache; evict entries invalidated by churn."""
+    cache = start.route_cache
+    hit = cache.get(key)
+    if hit is None:
+        cache.misses += 1
+        return None
+    prefix, peer_id = hit
+    peer = start.network.nodes.get(peer_id)
+    if (
+        isinstance(peer, PGridPeer)
+        and peer.online
+        and peer.path == prefix
+        and is_destination(peer, key)
+    ):
+        cache.hits += 1
+        return peer
+    cache.invalidate(prefix)
+    cache.misses += 1
+    return None
+
+
+def route_hops(
+    start: PGridPeer,
+    key: str,
+    rng: random.Random | None = None,
+    use_cache: bool = True,
+) -> tuple[PGridPeer, list[tuple[str, str]]]:
+    """Discover the route from ``start`` towards ``key`` without sending.
+
+    Returns ``(destination, hops)`` where hops are ``(src_id, dst_id)``
+    pairs; callers account them with :func:`replay_hops` at whatever message
+    size the operation carries.  On failure raises :class:`RoutingError`
+    with the partial hop list attached as ``.hops``.
+    """
+    rng = rng or start.network.rng
+    if use_cache:
+        cached = _cached_destination(start, key)
+        if cached is not None:
+            hops = [] if cached is start else [(start.node_id, cached.node_id)]
+            return cached, hops
+
+    current = start
+    hops: list[tuple[str, str]] = []
+    visited_detours: set[str] = set()
+
+    for _hop in range(MAX_HOPS):
+        if is_destination(current, key):
+            if use_cache and current.path:
+                start.route_cache.put(current.path, current.node_id)
+            return current, hops
+
+        level = common_prefix_length(current.path, key)
+        candidates = current.valid_refs(level)
+        if candidates:
+            next_id = rng.choice(candidates)
+            hops.append((current.node_id, next_id))
+            current = current.network.nodes[next_id]
+            continue
+
+        # Dead end at this level: detour through a replica whose independent
+        # reference sample may still cover the needed subtree.  A detour is
+        # churn evidence, so drop any cached destination for this region.
+        if use_cache:
+            start.route_cache.invalidate_key(key)
+        visited_detours.add(current.node_id)
+        detours = [r for r in current.online_replicas() if r not in visited_detours]
+        if not detours:
+            error = RoutingError(
+                f"no route from {current.node_id!r} (path {current.path!r}) "
+                f"towards key {key[:24]!r}... at level {level}"
+            )
+            error.hops = hops
+            raise error
+        next_id = rng.choice(detours)
+        hops.append((current.node_id, next_id))
+        current = current.network.nodes[next_id]
+
+    error = RoutingError(f"route exceeded {MAX_HOPS} hops towards {key[:24]!r}")
+    error.hops = hops
+    raise error
+
+
+def replay_hops(
+    network: "Network", hops: list[tuple[str, str]], kind: str, size: int
+) -> Trace:
+    """Account a discovered hop sequence as sent messages of ``size``."""
+    trace = Trace.ZERO
+    for src, dst in hops:
+        trace = trace.then(network.send(src, dst, kind, size))
+    return trace
+
+
 def route(
     start: PGridPeer,
     key: str,
     kind: str = "route",
     size: int = 1,
     rng: random.Random | None = None,
+    use_cache: bool = True,
 ) -> tuple[PGridPeer, Trace]:
     """Route a message from ``start`` towards ``key``.
 
@@ -51,38 +243,9 @@ def route(
     when the route dead-ends, e.g. because every peer covering the key's
     region is offline.
     """
-    rng = rng or start.network.rng
-    current = start
-    trace = Trace.ZERO
-    visited_detours: set[str] = set()
-
-    for _hop in range(MAX_HOPS):
-        if is_destination(current, key):
-            return current, trace
-
-        level = common_prefix_length(current.path, key)
-        candidates = current.valid_refs(level)
-        if candidates:
-            next_id = rng.choice(candidates)
-            trace = trace.then(current.network.send(current.node_id, next_id, kind, size))
-            current = current.network.nodes[next_id]
-            continue
-
-        # Dead end at this level: detour through a replica whose independent
-        # reference sample may still cover the needed subtree.
-        visited_detours.add(current.node_id)
-        detours = [r for r in current.online_replicas() if r not in visited_detours]
-        if not detours:
-            error = RoutingError(
-                f"no route from {current.node_id!r} (path {current.path!r}) "
-                f"towards key {key[:24]!r}... at level {level}"
-            )
-            error.trace = trace
-            raise error
-        next_id = rng.choice(detours)
-        trace = trace.then(current.network.send(current.node_id, next_id, kind, size))
-        current = current.network.nodes[next_id]
-
-    error = RoutingError(f"route exceeded {MAX_HOPS} hops towards {key[:24]!r}")
-    error.trace = trace
-    raise error
+    try:
+        destination, hops = route_hops(start, key, rng=rng, use_cache=use_cache)
+    except RoutingError as error:
+        error.trace = replay_hops(start.network, getattr(error, "hops", []), kind, size)
+        raise
+    return destination, replay_hops(start.network, hops, kind, size)

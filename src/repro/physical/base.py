@@ -20,10 +20,13 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
 from repro.net.trace import Trace
-from repro.algebra.semantics import Binding
+from repro.algebra.expressions import satisfies
+from repro.algebra.semantics import Binding, match_pattern
 from repro.pgrid.network import PGridNetwork
 from repro.pgrid.peer import PGridPeer
-from repro.triples.store import DistributedTripleStore
+from repro.triples.index import IndexKind
+from repro.triples.store import DistributedTripleStore, Posting
+from repro.vql.ast import TriplePattern
 
 
 @dataclass
@@ -74,6 +77,49 @@ class OpResult:
 
     def at_coordinator(self, ctx: ExecutionContext, kind: str = "ship") -> "OpResult":
         return self.shipped_to(ctx, ctx.coordinator.node_id, kind=kind)
+
+
+def match_postings(
+    entries,
+    pattern: TriplePattern,
+    kind: IndexKind,
+    variable: str,
+    value,
+    filters,
+) -> list[Binding]:
+    """Bindings produced by the index postings under one probe key.
+
+    Deduplicates postings, unifies them against ``pattern``, keeps only
+    matches whose ``variable`` equals the probed ``value`` and that pass the
+    ``filters``.  OID probes compare against ``str(value)`` (OIDs are
+    strings) but keep the caller's original join value in the binding, so a
+    non-string join value still unifies with the row that produced it.
+
+    Shared by the index-nested-loop join and the MQP probe step — the two
+    per-value probe paths — so their matching semantics cannot drift.
+    """
+    matches: list[Binding] = []
+    seen: set = set()
+    for entry in entries:
+        posting = entry.value
+        if not isinstance(posting, Posting) or posting.kind is not kind:
+            continue
+        identity = posting.triple.as_tuple()
+        if identity in seen:
+            continue
+        seen.add(identity)
+        binding = match_pattern(pattern, posting.triple)
+        if binding is None:
+            continue
+        if kind is IndexKind.OID:
+            if binding.get(variable) != str(value):
+                continue
+            binding = {**binding, variable: value}
+        elif binding.get(variable) != value:
+            continue
+        if all(satisfies(f, binding) for f in filters):
+            matches.append(binding)
+    return matches
 
 
 class PhysicalOperator(ABC):

@@ -30,17 +30,19 @@ from dataclasses import dataclass
 
 from repro.errors import PlanningError, RoutingError
 from repro.net.trace import Trace
-from repro.algebra.expressions import satisfies
 from repro.algebra.semantics import (
     Binding,
     join_key,
-    match_pattern,
     merge_bindings,
 )
-from repro.physical.base import ExecutionContext, OpResult, PhysicalOperator
-from repro.pgrid.routing import route
+from repro.physical.base import (
+    ExecutionContext,
+    OpResult,
+    PhysicalOperator,
+    match_postings,
+)
+from repro.pgrid.routing import point_key, route
 from repro.triples.index import IndexKind, av_key, oid_key, v_key
-from repro.triples.store import Posting
 from repro.vql.ast import Expression, Literal, TriplePattern, Var
 
 
@@ -112,36 +114,38 @@ class IndexNestedLoopJoin(_JoinBase):
         position, shared_name = self._lookup_position(pattern, left_rows)
 
         joined: list[Binding] = []
-        branches: list[Trace] = []
         cache: dict[object, list[Binding]] = {}
+        key_for_value: dict[object, tuple[str, IndexKind]] = {}
         for value in {row.get(shared_name) for row in left_rows if shared_name in row}:
             key, kind = self._index_key(pattern, position, value)
             if key is None:
                 cache[value] = []
                 continue
-            entries, trace = ctx.pnet.lookup(key, start=ctx.coordinator, kind="join-lookup")
-            branches.append(trace)
-            matches: list[Binding] = []
-            seen = set()
-            for entry in entries:
-                posting = entry.value
-                if not isinstance(posting, Posting) or posting.kind is not kind:
-                    continue
-                identity = posting.triple.as_tuple()
-                if identity in seen:
-                    continue
-                seen.add(identity)
-                binding = match_pattern(pattern, posting.triple)
-                if binding is None or binding.get(shared_name) != value:
-                    continue
-                if all(satisfies(f, binding) for f in self.right_filters):
-                    matches.append(binding)
-            cache[value] = matches
+            key_for_value[value] = (key, kind)
+        # One destination-grouped multi-key lookup instead of a routed
+        # lookup per distinct value — probes to the same region share a route.
+        probe_trace = Trace.ZERO
+        entries_by_key: dict[str, list] = {}
+        if key_for_value:
+            entries_by_key, probe_trace = ctx.pnet.lookup_many(
+                [key for key, _kind in key_for_value.values()],
+                start=ctx.coordinator,
+                kind="join-lookup",
+            )
+        for value, (key, kind) in key_for_value.items():
+            cache[value] = match_postings(
+                entries_by_key.get(key, []),
+                pattern,
+                kind,
+                shared_name,
+                value,
+                self.right_filters,
+            )
         for row in left_rows:
             for match in cache.get(row.get(shared_name), ()):
                 if _consistent(row, match):
                     joined.append(merge_bindings(row, match))
-        trace = left_result.trace.then(Trace.parallel(branches)) if branches else left_result.trace
+        trace = left_result.trace.then(probe_trace)
         return OpResult(
             groups=[(ctx.coordinator.node_id, joined)] if joined else [],
             trace=trace,
@@ -164,9 +168,9 @@ class IndexNestedLoopJoin(_JoinBase):
 
     def _index_key(self, pattern: TriplePattern, position: str, value) -> tuple[str | None, IndexKind]:
         if position == "subject":
-            if not isinstance(value, str):
-                return None, IndexKind.OID
-            return oid_key(value), IndexKind.OID
+            # OIDs are strings; coerce like the MQP probe so non-string join
+            # values probe the same key instead of being dropped.
+            return oid_key(str(value)), IndexKind.OID
         if isinstance(pattern.predicate, Literal):
             return av_key(str(pattern.predicate.value), value), IndexKind.AV
         return v_key(value), IndexKind.V
@@ -211,7 +215,10 @@ class RehashJoin(_JoinBase):
                     by_value[join_key(row, shared)].append(row)
                 producer = ctx.pnet.net.nodes[peer_id]
                 for value_key, bucket in by_value.items():
-                    rendezvous_key = v_key(_rendezvous_value(value_key))
+                    # Point routing: every producer must land in the SAME
+                    # leaf group for a value, even when the trie is split
+                    # deeper than the rendezvous key.
+                    rendezvous_key = point_key(v_key(_rendezvous_value(value_key)))
                     try:
                         dest, trace = route(
                             producer, rendezvous_key, kind="join-rehash", rng=ctx.rng

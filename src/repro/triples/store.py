@@ -5,11 +5,14 @@ Service" pair (Fig. 1, layers 2-3).
 indexes (plus, optionally, a q-gram similarity index over string values) and
 offers the retrieval primitives the physical query operators build on:
 
-* exact access — :meth:`by_oid`, :meth:`by_attribute_value`, :meth:`by_value`;
+* exact access — :meth:`by_oid`/:meth:`by_oids`, :meth:`by_attribute_value`,
+  :meth:`by_value`;
 * ordered access — :meth:`attribute_range` (``Ai >= vi`` queries),
   :meth:`attribute_prefix`, :meth:`value_prefix` (substring/prefix search);
-* maintenance — :meth:`insert`/:meth:`insert_tuple`, :meth:`update_value`,
-  :meth:`delete`, and oracle :meth:`bulk_insert` for benchmark setup.
+* maintenance — :meth:`insert`/:meth:`insert_tuple`/:meth:`insert_tuples_batch`
+  (all message-accounted through the overlay's destination-grouped bulk
+  inserts), :meth:`update_value`, :meth:`delete`, and oracle
+  :meth:`bulk_insert` for benchmark setup.
 
 Every method returns the causal :class:`~repro.net.trace.Trace` alongside its
 result, so upper layers can compose full query-plan costs.
@@ -103,21 +106,41 @@ class DistributedTripleStore:
     # -- maintenance -------------------------------------------------------------
 
     def insert(self, triple: Triple, start: PGridPeer | None = None) -> Trace:
-        """Publish one triple under all its indexes (parallel routed inserts)."""
-        start = start or self.pnet.random_online_peer()
-        branches = [
-            self.pnet.insert(key, posting, item_id=item_id, start=start)
-            for key, item_id, posting in self.postings(triple)
-        ]
-        return Trace.parallel(branches)
+        """Publish one triple under all its indexes (one grouped bulk insert).
+
+        All postings travel through :meth:`PGridNetwork.insert_many`, so
+        postings whose keys land in the same region share a single route.
+        """
+        return self.pnet.insert_many(self.postings(triple), start=start)
 
     def insert_tuple(
         self, oid: str, values: dict[str, Value], start: PGridPeer | None = None
     ) -> tuple[list[Triple], Trace]:
         """Vertically decompose and publish a logical tuple."""
         triples = triples_from_tuple(oid, values)
-        branches = [self.insert(t, start=start) for t in triples]
-        return triples, Trace.parallel(branches)
+        items = [posting for t in triples for posting in self.postings(t)]
+        return triples, self.pnet.insert_many(items, start=start)
+
+    def insert_tuples_batch(
+        self,
+        tuples: list[tuple[str, dict[str, Value]]],
+        start: PGridPeer | None = None,
+    ) -> tuple[list[Triple], Trace]:
+        """Message-accounted batch publish of many ``(oid, values)`` tuples.
+
+        Every posting of the whole batch goes through ONE destination-grouped
+        bulk insert, so the routed messages amortize across tuples — the
+        batched-ingest lever of the E9b benchmark (contrast with
+        :meth:`bulk_insert`, which is an *oracle* placement without messages).
+        """
+        triples: list[Triple] = []
+        items: list[tuple[str, str, Posting]] = []
+        for oid, values in tuples:
+            decomposed = triples_from_tuple(oid, values)
+            triples.extend(decomposed)
+            for triple in decomposed:
+                items.extend(self.postings(triple))
+        return triples, self.pnet.insert_many(items, start=start)
 
     def bulk_insert(self, triples: list[Triple]) -> None:
         """Oracle placement of many triples (no routing messages); setup only."""
@@ -153,8 +176,23 @@ class DistributedTripleStore:
 
     def by_oid(self, oid: str, start: PGridPeer | None = None) -> tuple[list[Triple], Trace]:
         """All triples of one logical tuple ("efficient reproduction of origin data")."""
-        entries, trace = self.pnet.lookup(oid_key(oid), start=start)
-        return self._triples(entries, IndexKind.OID), trace
+        by_oid, trace = self.by_oids([oid], start=start)
+        return by_oid[oid], trace
+
+    def by_oids(
+        self, oids, start: PGridPeer | None = None
+    ) -> tuple[dict[str, list[Triple]], Trace]:
+        """Reassemble many logical tuples with one grouped multi-key lookup.
+
+        OIDs whose index keys share a responsible region cost one route and
+        one reply between them; returns ``(triples_by_oid, trace)``.
+        """
+        keys = {oid: oid_key(oid) for oid in oids}
+        entries_by_key, trace = self.pnet.lookup_many(keys.values(), start=start)
+        return {
+            oid: self._triples(entries_by_key.get(key, []), IndexKind.OID)
+            for oid, key in keys.items()
+        }, trace
 
     def by_attribute_value(
         self, attribute: str, value: Value, start: PGridPeer | None = None

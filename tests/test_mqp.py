@@ -172,3 +172,57 @@ class TestMQPExecution:
 
         with pytest.raises(ExecutionError):
             execute_mutant_plan(ctx, [], [], model)
+
+
+class TestProbeOidCoercion:
+    """Regression: probe-oid used to silently drop non-string join values."""
+
+    @pytest.fixture()
+    def numeric_env(self):
+        from repro.mqp.executor import _probe
+        from repro.mqp.plan import MutantQueryPlan
+        from repro.optimizer.adaptive import Step
+        from repro.triples.triple import Triple
+
+        from repro.pgrid.keys import responsible
+        from repro.triples.index import oid_key
+
+        pnet = build_network(16, replication=2, seed=77, split_by="population")
+        store = DistributedTripleStore(pnet)
+        # A tuple whose OID is the *string* "42"; join values arriving as the
+        # integer 42 must still probe (and bind) it.
+        store.bulk_insert(
+            [Triple("42", "name", "answer-tuple"), Triple("q:1", "answer", 42)]
+        )
+        # Probe from a peer that must actually route to the OID posting.
+        holder = next(p for p in pnet.peers if not responsible(p.path, oid_key("42")))
+        ctx = ExecutionContext(store, holder, random.Random(77))
+        return ctx, _probe, MutantQueryPlan, Step
+
+    def test_integer_join_value_probes_the_oid_index(self, numeric_env):
+        ctx, _probe, MutantQueryPlan, Step = numeric_env
+        scan = PatternScan(TriplePattern(Var("x"), Literal("name"), Var("n")))
+        plan = MutantQueryPlan(
+            pending=[],
+            residual_filters=[],
+            bindings=[{"q": "q:1", "x": 42}],
+            location=ctx.coordinator.node_id,
+        )
+        step = Step(scan=scan, method="probe-oid", shared_variable="x", estimated_cost=0.0)
+        trace = _probe(ctx, plan, step)
+        assert trace.messages > 0
+        # The probed binding keeps the row's original (integer) join value.
+        assert plan.bindings == [{"q": "q:1", "x": 42, "n": "answer-tuple"}]
+
+    def test_string_join_values_still_bind_exactly(self, numeric_env):
+        ctx, _probe, MutantQueryPlan, Step = numeric_env
+        scan = PatternScan(TriplePattern(Var("x"), Literal("name"), Var("n")))
+        plan = MutantQueryPlan(
+            pending=[],
+            residual_filters=[],
+            bindings=[{"x": "42"}, {"x": "no-such-oid"}],
+            location=ctx.coordinator.node_id,
+        )
+        step = Step(scan=scan, method="probe-oid", shared_variable="x", estimated_cost=0.0)
+        _probe(ctx, plan, step)
+        assert plan.bindings == [{"x": "42", "n": "answer-tuple"}]

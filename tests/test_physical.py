@@ -237,6 +237,22 @@ class TestJoinStrategies:
         )
         assert rows_of(result) == expected
 
+    def test_oid_probe_coerces_non_string_join_values(self):
+        """Regression: non-string OID join values used to be silently dropped
+        (must behave like the MQP probe-oid coercion)."""
+        pnet = build_network(16, replication=2, seed=78, split_by="population")
+        store = DistributedTripleStore(pnet)
+        store.bulk_insert(
+            [Triple("42", "name", "answer-tuple"), Triple("q:1", "answer", 42)]
+        )
+        ctx = ExecutionContext(store, pnet.peers[0], random.Random(78))
+        left = AttributeScan(TriplePattern(Var("q"), Literal("answer"), Var("x")))
+        right_pattern = TriplePattern(Var("x"), Literal("name"), Var("n"))
+        result = IndexNestedLoopJoin(
+            left, AttributeScan(right_pattern), right_pattern=right_pattern
+        ).execute(ctx)
+        assert result.all_bindings() == [{"q": "q:1", "x": 42, "n": "answer-tuple"}]
+
     def test_rehash_falls_back_on_cartesian(self, env):
         _store, _triples, ctx = env
         left = AttributeScan(TriplePattern(Var("a"), Literal("series"), Var("x")))
