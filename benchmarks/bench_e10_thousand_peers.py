@@ -25,9 +25,7 @@ NUM_PEERS = 1000
 
 @pytest.fixture(scope="module")
 def big_store():
-    store = UniStore.build(
-        num_peers=NUM_PEERS, replication=2, seed=1000, enable_qgram_index=True
-    )
+    store = UniStore.build(num_peers=NUM_PEERS, replication=2, seed=1000, enable_qgram_index=True)
     workload = ConferenceWorkload(
         num_authors=300, num_publications=600, num_conferences=32, seed=1000
     )
@@ -51,15 +49,18 @@ def test_e10_functional_at_1000_peers(benchmark, big_store):
                 r["cnt"] for r in reference.rows
             )
         table.add_row(
-            name, len(result.rows), correct, result.messages,
-            result.trace.hops, result.answer_time,
+            name,
+            len(result.rows),
+            correct,
+            result.messages,
+            result.trace.hops,
+            result.answer_time,
         )
         assert correct, f"{name} wrong at {NUM_PEERS} peers"
     emit(table)
 
     benchmark.pedantic(
-        lambda: store.execute(workload.query_mix()["lookup"]),
-        rounds=5, iterations=1,
+        lambda: store.execute(workload.query_mix()["lookup"]), rounds=5, iterations=1
     )
 
 

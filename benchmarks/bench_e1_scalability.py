@@ -15,7 +15,6 @@ from __future__ import annotations
 import random
 import string
 
-import pytest
 
 from repro.bench import ResultTable, fit_log2_slope, mean, percentile
 from repro.pgrid import build_network, bulk_load, encode_string
@@ -29,18 +28,13 @@ NUM_KEYS = 300
 
 def _words(count: int, seed: int) -> list[str]:
     rng = random.Random(seed)
-    return [
-        "".join(rng.choice(string.ascii_lowercase) for _ in range(8))
-        for _ in range(count)
-    ]
+    return ["".join(rng.choice(string.ascii_lowercase) for _ in range(8)) for _ in range(count)]
 
 
 def _build(num_peers: int, seed: int = 1):
     words = _words(NUM_KEYS, seed)
     keys = [encode_string(w) for w in words]
-    pnet = build_network(
-        num_peers, replication=2, seed=seed, split_by="population"
-    )
+    pnet = build_network(num_peers, replication=2, seed=seed, split_by="population")
     bulk_load(pnet, [(k, w, w) for k, w in zip(keys, words)])
     return pnet, words, keys
 

@@ -90,6 +90,4 @@ def test_e2_mqp_vs_coordinator_execution(benchmark, planetlab_store):
         table.add_row(mode, median(latencies), mean(messages))
     emit(table)
 
-    benchmark.pedantic(
-        lambda: store.execute(join_query, mode="mqp"), rounds=3, iterations=1
-    )
+    benchmark.pedantic(lambda: store.execute(join_query, mode="mqp"), rounds=3, iterations=1)

@@ -15,7 +15,6 @@ Reported: max/mean load ratio and the Gini coefficient of per-peer load.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench import ResultTable, skewed_strings
 from repro.pgrid import (
@@ -67,9 +66,7 @@ def test_e3_balancing_tames_skew(benchmark):
         final[(skew, "rebalanced")] = (ratio, gini)
         assert balanced.is_complete()
 
-        oracle = build_network(
-            NUM_PEERS, data_keys=keys, replication=2, seed=17, split_by="data"
-        )
+        oracle = build_network(NUM_PEERS, data_keys=keys, replication=2, seed=17, split_by="data")
         _load(oracle, words)
         ratio, gini = _metrics(oracle)
         table.add_row(skew, "data split (oracle)", ratio, gini, 0)

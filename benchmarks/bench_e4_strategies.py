@@ -14,7 +14,6 @@ strategy.
 
 from __future__ import annotations
 
-import random
 
 import pytest
 
@@ -63,9 +62,7 @@ def test_e4_join_strategy_crossover(benchmark, store):
         answers = {}
         for strategy in STRATEGIES:
             with store.pnet.net.frame() as frame:
-                result = store.execute(
-                    vql, config=PlannerConfig(join_strategy=strategy, **weights)
-                )
+                result = store.execute(vql, config=PlannerConfig(join_strategy=strategy, **weights))
             traffic = frame.messages + frame.bytes  # headers + payload units
             measured[strategy] = (traffic, result.answer_time)
             answers[strategy] = sorted(

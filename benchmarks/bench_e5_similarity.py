@@ -26,7 +26,6 @@ from __future__ import annotations
 import random
 import string
 
-import pytest
 
 from repro import UniStore
 from repro.bench import ResultTable, inject_typo
@@ -49,8 +48,7 @@ def _dictionary(count: int, seed: int) -> list[str]:
 
 def _build(count: int, q: int = 3, seed: int = 55):
     store = UniStore.build(
-        num_peers=NUM_PEERS, replication=2, seed=seed,
-        enable_qgram_index=True, qgram_q=q,
+        num_peers=NUM_PEERS, replication=2, seed=seed, enable_qgram_index=True, qgram_q=q
     )
     words = _dictionary(count, seed)
     rng = random.Random(seed + 1)
@@ -86,12 +84,8 @@ def test_e5a_similarity_join_crossover(benchmark):
     keep = None
     for size in DICTIONARY_SIZES:
         store, _words, _probes = _build(size)
-        naive_traffic, naive = _traffic(
-            store, SIMJOIN_QUERY, PlannerConfig(use_qgram=False)
-        )
-        qgram_traffic, qgram = _traffic(
-            store, SIMJOIN_QUERY, PlannerConfig(use_qgram=True)
-        )
+        naive_traffic, naive = _traffic(store, SIMJOIN_QUERY, PlannerConfig(use_qgram=False))
+        qgram_traffic, qgram = _traffic(store, SIMJOIN_QUERY, PlannerConfig(use_qgram=True))
         assert sorted(map(repr, naive.rows)) == sorted(map(repr, qgram.rows))
         assert naive.rows, "probes are perturbed dictionary words; matches exist"
         table.add_row(size, "naive", naive_traffic, naive.answer_time, len(naive.rows))
@@ -107,7 +101,8 @@ def test_e5a_similarity_join_crossover(benchmark):
 
     benchmark.pedantic(
         lambda: keep.execute(SIMJOIN_QUERY, config=PlannerConfig(use_qgram=True)),
-        rounds=3, iterations=1,
+        rounds=3,
+        iterations=1,
     )
 
 
@@ -127,7 +122,8 @@ def test_e5b_qgram_length_ablation(benchmark):
     emit(table)
     benchmark.pedantic(
         lambda: last.execute(SIMJOIN_QUERY, config=PlannerConfig(use_qgram=True)),
-        rounds=3, iterations=1,
+        rounds=3,
+        iterations=1,
     )
 
 
@@ -145,9 +141,7 @@ def test_e5c_similarity_selection(benchmark):
         vql = f"SELECT ?w WHERE {{(?d,'word',?w) FILTER edist(?w,'{probe}') <= 1}}"
         qgram_traffic, qgram_result = _traffic(store, vql, PlannerConfig(use_qgram=True))
         scan_traffic, scan_result = _traffic(store, vql, PlannerConfig(use_qgram=False))
-        assert sorted(r["w"] for r in qgram_result.rows) == sorted(
-            r["w"] for r in scan_result.rows
-        )
+        assert sorted(r["w"] for r in qgram_result.rows) == sorted(r["w"] for r in scan_result.rows)
         assert probe in {r["w"] for r in qgram_result.rows}
         table.add_row(size, "qgram", qgram_traffic, qgram_result.answer_time,
                       len(qgram_result.rows))
@@ -166,5 +160,6 @@ def test_e5c_similarity_selection(benchmark):
     store, vql = keep
     benchmark.pedantic(
         lambda: store.execute(vql, config=PlannerConfig(use_qgram=True)),
-        rounds=3, iterations=1,
+        rounds=3,
+        iterations=1,
     )

@@ -9,7 +9,6 @@ latency, for growing author populations, plus the verbatim paper query.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import UniStore
 from repro.bench import ConferenceWorkload, ResultTable
@@ -32,9 +31,7 @@ ORDER BY SKYLINE OF ?age MIN, ?cnt MAX
 
 
 def _build(num_authors: int, seed: int = 66):
-    store = UniStore.build(
-        num_peers=64, replication=2, seed=seed, enable_qgram_index=True
-    )
+    store = UniStore.build(num_peers=64, replication=2, seed=seed, enable_qgram_index=True)
     workload = ConferenceWorkload(
         num_authors=num_authors,
         num_publications=num_authors * 2,

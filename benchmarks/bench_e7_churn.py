@@ -15,7 +15,6 @@ from __future__ import annotations
 import random
 import string
 
-import pytest
 
 from repro.bench import ResultTable
 from repro.errors import RoutingError
@@ -32,10 +31,7 @@ PROBES = 120
 
 def _words(count: int, seed: int) -> list[str]:
     rng = random.Random(seed)
-    return [
-        "".join(rng.choice(string.ascii_lowercase) for _ in range(7))
-        for _ in range(count)
-    ]
+    return ["".join(rng.choice(string.ascii_lowercase) for _ in range(7)) for _ in range(count)]
 
 
 def _success_rate(pnet, keys, rng) -> float:
@@ -66,9 +62,7 @@ def test_e7_lookup_availability_under_failures(benchmark):
     rates = {}
     bench_net = None
     for replication in REPLICATION:
-        pnet = build_network(
-            NUM_PEERS, replication=replication, seed=71, split_by="population"
-        )
+        pnet = build_network(NUM_PEERS, replication=replication, seed=71, split_by="population")
         bulk_load(pnet, [(k, w, w) for k, w in zip(keys, words)])
         churn = ChurnModel(pnet.peers, seed=71)
         probe_rng = random.Random(72)

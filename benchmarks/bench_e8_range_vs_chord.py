@@ -49,10 +49,7 @@ RANGES = [
 def _words(seed: int) -> list[str]:
     rng = random.Random(seed)
     return sorted(
-        {
-            "".join(rng.choice(string.ascii_lowercase) for _ in range(6))
-            for _ in range(NUM_WORDS)
-        }
+        {"".join(rng.choice(string.ascii_lowercase) for _ in range(6)) for _ in range(NUM_WORDS)}
     )
 
 
@@ -97,8 +94,11 @@ def test_e8_range_queries_pgrid_vs_chord(benchmark, substrates):
         results, chord_trace, visited = index.range_query(key_range)
         assert sorted(v for _k, _i, v in results) == expected
         table.add_row(
-            label, len(expected), f"chord+trie ({visited} trie nodes)",
-            chord_trace.messages, chord_trace.latency,
+            label,
+            len(expected),
+            f"chord+trie ({visited} trie nodes)",
+            chord_trace.messages,
+            chord_trace.latency,
         )
         advantage[label] = chord_trace.messages / max(1, shower_trace.messages)
     table.add_row("(insert)", "", "chord trie maintenance / item", maintenance, "")

@@ -20,7 +20,6 @@ import os
 import random
 import string
 
-import pytest
 
 from repro import UniStore
 from repro.bench import ResultTable, batched, ingest_tuples
@@ -51,10 +50,7 @@ BATCH_SIZES = [1, 10, 100]
 def _facts(seed: int) -> list[str]:
     rng = random.Random(seed)
     return sorted(
-        {
-            "".join(rng.choice(string.ascii_lowercase) for _ in range(7))
-            for _ in range(NUM_FACTS)
-        }
+        {"".join(rng.choice(string.ascii_lowercase) for _ in range(7)) for _ in range(NUM_FACTS)}
     )
 
 

@@ -35,7 +35,5 @@ def pytest_sessionstart(session):
 def pytest_terminal_summary(terminalreporter):
     """Replay all experiment tables after capture is released."""
     if RESULTS_FILE.exists():
-        terminalreporter.write_sep(
-            "=", "experiment result tables (also in benchmarks/results.txt)"
-        )
+        terminalreporter.write_sep("=", "experiment result tables (also in benchmarks/results.txt)")
         terminalreporter.write(RESULTS_FILE.read_text())

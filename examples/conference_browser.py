@@ -30,12 +30,8 @@ ORDER BY SKYLINE OF ?age MIN, ?cnt MAX
 
 def main() -> None:
     print("Building a 64-peer overlay and loading the conference domain ...")
-    store = UniStore.build(
-        num_peers=64, replication=2, seed=7, enable_qgram_index=True
-    )
-    workload = ConferenceWorkload(
-        num_authors=60, num_publications=120, num_conferences=16, seed=7
-    )
+    store = UniStore.build(num_peers=64, replication=2, seed=7, enable_qgram_index=True)
+    workload = ConferenceWorkload(num_authors=60, num_publications=120, num_conferences=16, seed=7)
     workload.load_into(store)
     print(f"  {store.statistics.total_triples} triples over {len(store.pnet)} peers\n")
 
@@ -56,9 +52,7 @@ def main() -> None:
     print(top.as_table(), "\n")
 
     print("=== Substring search over conference names ===")
-    sub = store.execute(
-        "SELECT ?c WHERE {(?p,'confname',?c) FILTER contains(?c, 'ICDE')}"
-    )
+    sub = store.execute("SELECT ?c WHERE {(?p,'confname',?c) FILTER contains(?c, 'ICDE')}")
     print(sub.as_table(max_rows=8), "\n")
 
     print("=== Similarity search absorbs typos in the data ===")

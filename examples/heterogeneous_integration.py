@@ -39,15 +39,11 @@ def main() -> None:
     store.add_mapping("dblp:venue", "ilm:conference", confidence=0.9)
 
     print("=== Mappings are queryable metadata (same operators, same store) ===")
-    meta = store.execute(
-        "SELECT ?m, ?src WHERE {(?m,'map:src',?src)}"
-    )
+    meta = store.execute("SELECT ?m, ?src WHERE {(?m,'map:src',?src)}")
     print(meta.as_table(), "\n")
 
     print("=== With expand_mappings=True the system unifies both schemas ===")
-    unified = store.execute(
-        "SELECT ?t WHERE {(?p,'dblp:title',?t)}", expand_mappings=True
-    )
+    unified = store.execute("SELECT ?t WHERE {(?p,'dblp:title',?t)}", expand_mappings=True)
     print(unified.as_table(), "\n")
 
     print("=== Cross-schema join through a mapped attribute ===")

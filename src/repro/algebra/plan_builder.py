@@ -110,9 +110,7 @@ def _check_select_variables(query: Query, plan: LogicalPlan) -> None:
     available = plan.output_variables()
     for variable in query.select:
         if variable.name not in available:
-            raise PlanningError(
-                f"SELECT variable ?{variable.name} is not bound by any pattern"
-            )
+            raise PlanningError(f"SELECT variable ?{variable.name} is not bound by any pattern")
     for item in query.order_by:
         if item.variable.name not in available:
             raise PlanningError(

@@ -52,9 +52,7 @@ def execute_reference(plan: LogicalPlan, triples: list[Triple]) -> list[Binding]
         return bindings
 
     if isinstance(plan, Selection):
-        return [
-            b for b in execute_reference(plan.child, triples) if satisfies(plan.predicate, b)
-        ]
+        return [b for b in execute_reference(plan.child, triples) if satisfies(plan.predicate, b)]
 
     if isinstance(plan, Projection):
         rows = execute_reference(plan.child, triples)
@@ -135,9 +133,7 @@ def execute_reference(plan: LogicalPlan, triples: list[Triple]) -> list[Binding]
 
     if isinstance(plan, Difference):
         shared = sorted(plan.left.output_variables() & plan.right.output_variables())
-        right_keys = {
-            join_key(row, shared) for row in execute_reference(plan.right, triples)
-        }
+        right_keys = {join_key(row, shared) for row in execute_reference(plan.right, triples)}
         return [
             row
             for row in execute_reference(plan.left, triples)
@@ -154,9 +150,7 @@ def execute_reference(plan: LogicalPlan, triples: list[Triple]) -> list[Binding]
         return rows[plan.offset : end]
 
     if isinstance(plan, TopN):
-        rows = sorted(
-            execute_reference(plan.child, triples), key=order_sort_key(plan.items)
-        )
+        rows = sorted(execute_reference(plan.child, triples), key=order_sort_key(plan.items))
         return rows[plan.offset : plan.offset + plan.n]
 
     if isinstance(plan, Skyline):
@@ -169,9 +163,7 @@ def _hash_join(
     left_rows: list[Binding], right_rows: list[Binding], shared: list[str]
 ) -> list[Binding]:
     if not shared:
-        return [
-            merge_bindings(l, r) for l in left_rows for r in right_rows
-        ]  # cartesian product
+        return [merge_bindings(l, r) for l in left_rows for r in right_rows]  # cartesian product
     if len(right_rows) < len(left_rows):
         left_rows, right_rows = right_rows, left_rows
     table = defaultdict(list)

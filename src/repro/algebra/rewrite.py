@@ -200,11 +200,7 @@ def _parse_edist_var_pair(expr: Expression):
 
 def fuse_top_n(plan: LogicalPlan) -> LogicalPlan:
     plan = _map_children(plan, fuse_top_n)
-    if (
-        isinstance(plan, Limit)
-        and plan.count is not None
-        and isinstance(plan.child, OrderBy)
-    ):
+    if (isinstance(plan, Limit) and plan.count is not None and isinstance(plan.child, OrderBy)):
         return TopN(plan.child.child, plan.child.items, n=plan.count, offset=plan.offset)
     return plan
 

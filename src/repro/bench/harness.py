@@ -21,9 +21,7 @@ class ResultTable:
 
     def add_row(self, *values: object) -> None:
         if len(values) != len(self.columns):
-            raise ValueError(
-                f"expected {len(self.columns)} values, got {len(values)}"
-            )
+            raise ValueError(f"expected {len(self.columns)} values, got {len(values)}")
         self.rows.append(list(values))
 
     def _formatted(self) -> list[list[str]]:
@@ -87,7 +85,10 @@ def percentile(values: list[float], p: float) -> float:
     if low == high:
         return ordered[low]
     fraction = rank - low
-    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+    interpolated = ordered[low] * (1 - fraction) + ordered[high] * fraction
+    # Rounding can escape [low, high] for denormal inputs (e.g. two copies of
+    # 5e-324 interpolate to 0.0); clamp to keep the percentile inside the data.
+    return min(max(interpolated, ordered[low]), ordered[high])
 
 
 def fit_log2_slope(sizes: list[int], values: list[float]) -> float:

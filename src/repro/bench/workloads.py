@@ -29,17 +29,21 @@ AREAS = [
     "ranking",
 ]
 
+# fmt: off
 _SYLLABLES = [
     "ka", "ri", "mo", "ta", "el", "an", "so", "ve", "li", "du",
     "ha", "no", "pe", "su", "mi", "ro", "ba", "ce", "wi", "ju",
 ]
+# fmt: on
 
+# fmt: off
 _TITLE_WORDS = [
     "similarity", "queries", "structured", "overlays", "skyline",
     "processing", "distributed", "storage", "universal", "triple",
     "routing", "cost", "aware", "adaptive", "indexing", "search",
     "progressive", "ranking", "heterogeneous", "schema",
 ]
+# fmt: on
 
 
 def zipf_values(rng: random.Random, n_items: int, count: int, s: float) -> list[int]:
@@ -191,9 +195,7 @@ class ConferenceWorkload:
 
         self.people = []
         for index in range(self.num_authors):
-            pub_count = min(
-                self.num_publications, max(1, int(rng.expovariate(1 / 3.0)) + 1)
-            )
+            pub_count = min(self.num_publications, max(1, int(rng.expovariate(1 / 3.0)) + 1))
             published = rng.sample(range(self.num_publications), pub_count)
             person: dict[str, Value] = {
                 "name": f"{make_name(rng)} {make_name(rng)}",
@@ -268,9 +270,7 @@ class ConferenceWorkload:
         """Representative VQL queries over this domain (used by E2/E10)."""
         some_conf = str(self.conferences[0]["confname"])
         return {
-            "lookup": (
-                f"SELECT ?p WHERE {{(?p,'published_in','{some_conf}')}}"
-            ),
+            "lookup": (f"SELECT ?p WHERE {{(?p,'published_in','{some_conf}')}}"),
             "range": (
                 "SELECT ?t,?y WHERE {(?p,'title',?t) (?p,'year',?y) "
                 "FILTER ?y >= 2003 AND ?y <= 2005}"

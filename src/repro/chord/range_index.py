@@ -61,7 +61,9 @@ class ChordRangeIndex:
 
     # -- operations --------------------------------------------------------------
 
-    def insert(self, bit_key: str, item_id: str, value: Any, start: ChordNode | None = None) -> Trace:
+    def insert(
+        self, bit_key: str, item_id: str, value: Any, start: ChordNode | None = None
+    ) -> Trace:
         """Insert one item; returns the full maintenance trace.
 
         Descends from the trie root (one Chord lookup per level), appends to

@@ -100,9 +100,7 @@ class ChordRing:
                 raise self._routing_error(current, key_id, trace)
             if in_interval(key_id, current.ring_id, successor.ring_id, inclusive_hi=True):
                 if successor is not current:
-                    trace = trace.then(
-                        self.net.send(current.node_id, successor.node_id, kind, 1)
-                    )
+                    trace = trace.then(self.net.send(current.node_id, successor.node_id, kind, 1))
                 return successor, trace
             nxt = self._closest_preceding(current, key_id)
             if nxt is current:
@@ -119,7 +117,10 @@ class ChordRing:
             if not finger.online:
                 continue
             if in_interval(
-                finger.ring_id, node.ring_id, key_id, inclusive_hi=False  # type: ignore[attr-defined]
+                finger.ring_id,  # type: ignore[attr-defined]
+                node.ring_id,
+                key_id,
+                inclusive_hi=False,
             ):
                 return finger  # type: ignore[return-value]
         return node

@@ -212,7 +212,7 @@ class UniStoreShell:
         )
         workload.load_into(self.store)
         self.write(
-            f"loaded the Figure-3 conference domain: "
+            "loaded the Figure-3 conference domain: "
             f"{self.store.statistics.total_triples} triples"
         )
 

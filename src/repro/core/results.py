@@ -45,9 +45,7 @@ class QueryResult:
 
     def as_table(self, max_rows: int = 20) -> str:
         """Fixed-width rendering of the result (the Fig.-4 results tab)."""
-        names = list(self.variables) or sorted(
-            {name for row in self.rows for name in row}
-        )
+        names = list(self.variables) or sorted({name for row in self.rows for name in row})
         if not names:
             return "(no columns)"
         header = [f"?{name}" for name in names]
@@ -71,9 +69,5 @@ class QueryResult:
 
     def sorted_rows(self) -> list[tuple]:
         """Deterministic row ordering for comparisons in tests."""
-        names = list(self.variables) or sorted(
-            {name for row in self.rows for name in row}
-        )
-        return sorted(
-            tuple(repr(row.get(name)) for name in names) for row in self.rows
-        )
+        names = list(self.variables) or sorted({name for row in self.rows for name in row})
+        return sorted(tuple(repr(row.get(name)) for name in names) for row in self.rows)

@@ -148,7 +148,9 @@ class UniStore:
         self._stats = None
         return trace
 
-    def bulk_load_tuples(self, tuples: list[dict[str, Value]], oid_prefix: str = "oid") -> list[str]:
+    def bulk_load_tuples(
+        self, tuples: list[dict[str, Value]], oid_prefix: str = "oid"
+    ) -> list[str]:
         """Oracle placement of many tuples (setup only; no routed messages)."""
         triples: list[Triple] = []
         oids: list[str] = []
@@ -190,6 +192,23 @@ class UniStore:
         self._stats = None
         return self.statistics
 
+    # -- execution model ---------------------------------------------------------
+
+    def event_driven(self, simulator=None):
+        """Scope event-driven (simulated-time) execution for this store.
+
+        Inside the ``with`` block every routed operation — query fan-outs,
+        index probes, range showers, ingest — runs as discrete events on a
+        shared simulated clock, so parallel fan-outs complete at the
+        *measured* max of their branches instead of the analytically
+        composed one::
+
+            with store.event_driven() as sched:
+                result = store.execute(vql)
+            result.trace.completion_time  # absolute instant on sched's clock
+        """
+        return self.pnet.event_driven(simulator=simulator)
+
     # -- querying ----------------------------------------------------------------------
 
     def execute(
@@ -211,7 +230,9 @@ class UniStore:
             store=self.store,
             coordinator=coordinator,
             rng=self.rng,
-            range_algorithm=(config.range_algorithm if config and config.range_algorithm else "shower"),
+            range_algorithm=(
+                config.range_algorithm if config and config.range_algorithm else "shower"
+            ),
         )
 
         if mode == "reference":
@@ -306,9 +327,7 @@ class UniStore:
             complete=complete,
         )
 
-    def _group_to_scans(
-        self, group: GroupPattern
-    ) -> tuple[list[PatternScan], list]:
+    def _group_to_scans(self, group: GroupPattern) -> tuple[list[PatternScan], list]:
         """Rewrite one group and flatten it into scans + residual filters."""
         if group.optionals:
             raise PlanningError("OPTIONAL is not supported in MQP mode")
@@ -383,9 +402,7 @@ class UniStore:
             if len(combos) > 16:  # avoid exponential blow-up on dense mappings
                 combos = combos[:16]
             for combo in combos:
-                new_groups.append(
-                    GroupPattern(tuple(combo), group.filters, group.optionals)
-                )
+                new_groups.append(GroupPattern(tuple(combo), group.filters, group.optionals))
         expanded = Query(
             select=query.select,
             groups=tuple(new_groups),

@@ -16,6 +16,11 @@ the overlay.  At every stop the holding peer:
 until no pattern is pending, then ships the result to the coordinator.
 Compared with coordinator-driven execution, intermediate results never bounce
 through the coordinator — the trade the E4/E2 measurements expose.
+
+Under event-driven execution (:meth:`PGridNetwork.event_driven`) each stop's
+index probes fan out as interleaved events — the per-value lookups of one
+probe step overlap in simulated time — while successive stops remain
+sequential on the clock, exactly the mutant plan's migration semantics.
 """
 
 from __future__ import annotations
@@ -90,9 +95,7 @@ def execute_mutant_plan(
     # Deliver the final result to the coordinator.
     if plan.location != ctx.coordinator.node_id and rows:
         trace = trace.then(
-            ctx.pnet.net.send(
-                plan.location, ctx.coordinator.node_id, "mqp-result", size=len(rows)
-            )
+            ctx.pnet.ship(plan.location, ctx.coordinator.node_id, "mqp-result", size=len(rows))
         )
     return MQPResult(bindings=rows, trace=trace, steps=steps, complete=complete)
 
@@ -136,8 +139,7 @@ def _probe(ctx: ExecutionContext, plan: MutantQueryPlan, step: Step) -> Trace:
     matches_by_value: dict[object, list[Binding]] = {}
     for value, (key, kind) in key_for_value.items():
         matches_by_value[value] = match_postings(
-            entries_by_key.get(key, []), pattern, kind, variable, value,
-            step.scan.filters,
+            entries_by_key.get(key, []), pattern, kind, variable, value, step.scan.filters
         )
 
     joined: list[Binding] = []
@@ -176,7 +178,7 @@ def _scan_and_migrate(
     trace = moved.trace
     if target_id != plan.location:
         trace = trace.then(
-            ctx.pnet.net.send(plan.location, target_id, "mqp-migrate", size=max(1, carried))
+            ctx.pnet.ship(plan.location, target_id, "mqp-migrate", size=max(1, carried))
         )
         plan.hops_travelled += 1
     plan.location = target_id

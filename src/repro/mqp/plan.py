@@ -69,9 +69,7 @@ class MutantQueryPlan:
                 )
                 for item in data["pending"]
             ],
-            residual_filters=[
-                expression_from_dict(f) for f in data["residual_filters"]
-            ],
+            residual_filters=[expression_from_dict(f) for f in data["residual_filters"]],
             bindings=data["bindings"],
             location=data["location"],
             hops_travelled=data["hops_travelled"],

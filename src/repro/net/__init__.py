@@ -9,9 +9,15 @@ overlay message goes through :meth:`Network.send`, which
 * samples a per-link latency from the configured latency model, and
 * accounts messages/bytes into global and per-query statistics frames.
 
-Query answer times are computed with the *causal trace* model described in
-DESIGN.md §7: sequential message chains add latencies, parallel fan-outs take
-the maximum branch latency (:class:`~repro.net.trace.Trace`).
+Query answer times are computed in one of two execution models:
+
+* the *causal trace* model described in DESIGN.md §7 — sequential message
+  chains add latencies, parallel fan-outs take the maximum branch latency
+  analytically (:class:`~repro.net.trace.Trace`); and
+* the *event-driven* model — messages are discrete events on a simulated
+  clock (:class:`~repro.net.scheduler.EventScheduler` over
+  :class:`~repro.net.simulator.EventSimulator`), so concurrent fan-outs
+  genuinely interleave and completion times are measured, not composed.
 """
 
 from repro.net.churn import ChurnModel, ChurnEvent, generate_session_trace
@@ -25,6 +31,7 @@ from repro.net.latency import (
 from repro.net.message import Message
 from repro.net.network import Network
 from repro.net.node import Node
+from repro.net.scheduler import Delivery, EventScheduler
 from repro.net.simulator import EventSimulator
 from repro.net.stats import NetworkStats, StatsFrame
 from repro.net.trace import Trace
@@ -37,6 +44,8 @@ __all__ = [
     "NetworkStats",
     "StatsFrame",
     "EventSimulator",
+    "EventScheduler",
+    "Delivery",
     "LatencyModel",
     "ZeroLatency",
     "ConstantLatency",

@@ -7,6 +7,12 @@ the destination *does* with the message) stays in the overlay code, which
 composes the returned traces into causal execution trees.  This keeps
 thousand-peer simulations fast while preserving exactly the quantities the
 paper reports: message counts, hop counts and critical-path answer time.
+
+For genuinely concurrent fan-outs there is an event-driven sibling,
+:class:`~repro.net.scheduler.EventScheduler`, which schedules messages as
+discrete events over the same network (same validation, same latency
+sampling, same stats ledger) and measures completion times on a simulated
+clock instead of composing them analytically.
 """
 
 from __future__ import annotations
@@ -67,6 +73,14 @@ class Network:
             base = self.latency_model.sample_base(self.rng)
             self._link_latency[key] = base
         return base
+
+    def set_link_latency(self, src: str, dst: str, seconds: float, symmetric: bool = True) -> None:
+        """Pin the base latency of a link (tests/benchmarks with known delays)."""
+        if seconds < 0:
+            raise ValueError("latency must be >= 0")
+        self._link_latency[(src, dst)] = seconds
+        if symmetric:
+            self._link_latency[(dst, src)] = seconds
 
     # -- delivery -----------------------------------------------------------
 

@@ -1,0 +1,249 @@
+"""Event-driven message transport: routed operations in simulated time.
+
+The causal-trace model (:mod:`repro.net.trace`) composes fan-out latency
+*analytically* — ``Trace.parallel`` takes the max over branches without ever
+interleaving them.  :class:`EventScheduler` is the execution engine for the
+alternative model: messages become events on a shared
+:class:`~repro.net.simulator.EventSimulator` heap, hop chains are callback
+chains (each delivery schedules the next hop), and concurrent fan-outs
+genuinely interleave on one simulated clock.  A fan-out over k destinations
+therefore *completes at the max* of its per-destination chains because that
+is when its last event fires — the paper's parallel-lookup latency argument,
+reproduced mechanically instead of assumed.
+
+Determinism: the simulator breaks time ties FIFO, every latency sample comes
+from the network's seeded RNGs, and deliveries are appended to
+:attr:`EventScheduler.log` in firing order — so the same seed replays the
+identical event sequence (asserted by the scheduler tests).
+
+The scheduler shares the network's validation, latency sampling and stats
+ledger: a message scheduled here is accounted exactly like one sent through
+:meth:`Network.send`, just timestamped with its simulated delivery instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import NodeUnreachableError
+from repro.net.simulator import EventSimulator
+from repro.net.trace import Trace
+
+if TYPE_CHECKING:
+    from repro.net.network import Network
+
+#: Callback invoked with the delivery instant of a message or chain.
+Completion = Callable[[float], None]
+
+#: ``(src, dst, kind, size)`` messages, as accepted by :meth:`EventScheduler.fanout`.
+Sends = list[tuple[str, str, str, int]]
+
+#: One routed wave: ``(hops, kind, size, on_arrival)``; see :meth:`EventScheduler.run_chains`.
+ChainSpec = tuple[list[tuple[str, str]], str, int, Callable[[float], Sends]]
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One delivered message, as recorded in the scheduler's event log."""
+
+    time: float
+    src: str
+    dst: str
+    kind: str
+    size: int
+
+
+class EventScheduler:
+    """Schedules overlay messages as discrete events over a network.
+
+    One scheduler wraps one :class:`~repro.net.network.Network` plus one
+    :class:`EventSimulator`.  Operations schedule their message graphs
+    (:meth:`send_at`, :meth:`chain`, :meth:`fanout`) and then :meth:`run`
+    drains the heap; the clock is monotone across operations, so back-to-back
+    calls compose sequentially in simulated time while everything scheduled
+    before a drain overlaps.
+    """
+
+    def __init__(self, network: "Network", simulator: EventSimulator | None = None):
+        self.net = network
+        self.sim = simulator or EventSimulator()
+        self.log: list[Delivery] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.sim.now
+
+    def send_at(
+        self,
+        time: float,
+        src: str,
+        dst: str,
+        kind: str,
+        size: int = 1,
+        on_delivered: Completion | None = None,
+    ) -> float:
+        """Schedule one message departing ``src`` at ``time``; return arrival.
+
+        Validation and latency sampling happen at scheduling time (identical
+        to :meth:`Network.send`); accounting and the ``on_delivered`` callback
+        happen when the delivery event fires.  A local send (``src == dst``)
+        is free and unlogged, like its synchronous counterpart, but the
+        callback still goes through the simulator so completion ordering is
+        uniform.
+        """
+        if src == dst:
+            if on_delivered is not None:
+                self.sim.schedule_at(time, lambda: on_delivered(time))
+            return time
+        dst_node = self.net.nodes.get(dst)
+        if dst_node is None:
+            raise NodeUnreachableError(dst, "unknown node")
+        if not dst_node.online:
+            raise NodeUnreachableError(dst, "node offline")
+        latency = self.net.link_latency(src, dst)
+        latency += self.net.latency_model.sample_jitter(self.net.rng)
+        arrival = time + latency
+
+        def deliver() -> None:
+            self.net.stats.record(kind, size, at=arrival)
+            self.log.append(Delivery(arrival, src, dst, kind, size))
+            if on_delivered is not None:
+                on_delivered(arrival)
+
+        self.sim.schedule_at(arrival, deliver)
+        return arrival
+
+    def chain(
+        self,
+        hops: list[tuple[str, str]],
+        kind: str,
+        size: int = 1,
+        at: float | None = None,
+        on_done: Completion | None = None,
+    ) -> None:
+        """Schedule a hop sequence as a callback chain starting at ``at``.
+
+        Each delivery schedules the next hop, so independent chains
+        interleave hop-by-hop on the shared clock.  ``on_done`` fires with
+        the arrival instant of the last hop (or with the start instant for
+        an empty chain — still via the simulator, to keep ordering uniform).
+        """
+        start = self.now if at is None else at
+
+        def step(index: int, time: float) -> None:
+            if index == len(hops):
+                if on_done is not None:
+                    on_done(time)
+                return
+            src, dst = hops[index]
+            self.send_at(
+                time,
+                src,
+                dst,
+                kind,
+                size,
+                on_delivered=lambda arrival: step(index + 1, arrival),
+            )
+
+        if not hops:
+            if on_done is not None:
+                self.sim.schedule_at(start, lambda: on_done(start))
+            return
+        step(0, start)
+
+    def fanout(
+        self,
+        sends: list[tuple[str, str, str, int]],
+        at: float | None = None,
+    ) -> Trace:
+        """Schedule ``(src, dst, kind, size)`` messages concurrently and drain.
+
+        All messages depart at the same instant; the returned trace completes
+        at the max arrival — the event-driven counterpart of
+        ``Trace.parallel`` over single hops.
+        """
+        start = self.now if at is None else at
+        completions: list[float] = []
+        accounted = 0
+        for src, dst, kind, size in sends:
+            if src != dst:
+                accounted += 1
+            self.send_at(start, src, dst, kind, size, on_delivered=completions.append)
+        self.run()
+        finish = max(completions, default=start)
+        return Trace(
+            messages=accounted,
+            hops=1 if accounted else 0,
+            latency=finish - start,
+            completion_time=finish,
+        )
+
+    def run_chains(
+        self,
+        chains: list[ChainSpec],
+        untracked: list[tuple[list[tuple[str, str]], str, int]] | tuple = (),
+    ) -> Trace:
+        """Run hop chains concurrently from ``now`` and measure the wave.
+
+        Each chain is ``(hops, kind, size, on_arrival)``: the hops depart as
+        a callback chain, and when the destination is reached ``on_arrival``
+        runs the destination-side work and returns follow-up sends
+        (``(src, dst, kind, size)`` — replica pushes, a reply, a forward).
+        The chain completes when its last follow-up is delivered (or at
+        arrival when there is none); the wave completes at the max over all
+        chains.  ``untracked`` chains are scheduled and accounted but never
+        complete — the partial hops of failed routes.
+
+        This is the shared scaffold behind the event-driven modes of
+        ``insert_many`` / ``lookup_many`` and the rehash join's shipping
+        wave, so their message/hop accounting cannot drift apart.
+        """
+        start_time = self.now
+        completions: list[float] = []
+        totals = {"messages": 0, "critical": 0}
+        for hops, kind, size, on_arrival in chains:
+            totals["messages"] += len(hops)
+            totals["critical"] = max(totals["critical"], len(hops))
+
+            def arrived(
+                time: float,
+                hops: list[tuple[str, str]] = hops,
+                on_arrival: Callable = on_arrival,
+            ) -> None:
+                sends = on_arrival(time)
+                if not sends:
+                    completions.append(time)
+                    return
+                totals["messages"] += len(sends)
+                totals["critical"] = max(totals["critical"], len(hops) + 1)
+                for src, dst, send_kind, send_size in sends:
+                    self.send_at(
+                        time,
+                        src,
+                        dst,
+                        send_kind,
+                        send_size,
+                        on_delivered=completions.append,
+                    )
+
+            self.chain(hops, kind, size, at=start_time, on_done=arrived)
+        for hops, kind, size in untracked:
+            self.chain(hops, kind, size, at=start_time)
+        self.run()
+        finish = max(completions, default=start_time)
+        return Trace(
+            messages=totals["messages"],
+            hops=totals["critical"],
+            latency=finish - start_time,
+            completion_time=finish,
+        )
+
+    def run(self, until: float | None = None) -> None:
+        """Drain scheduled events (up to ``until``), advancing the clock."""
+        self.sim.run(until)
+
+    def pending(self) -> int:
+        """Number of events still queued on the simulator."""
+        return self.sim.pending()

@@ -1,9 +1,11 @@
 """Minimal discrete-event kernel.
 
 Used by the time-driven experiments (churn sessions in E7, anti-entropy
-rounds in E9) where *when* something happens matters, unlike query execution
-which uses the causal-trace model.  Events are ``(time, seq, callback)``
-triples in a heap; ``seq`` breaks ties FIFO so runs are deterministic.
+rounds in E9) and by the event-driven query transport
+(:class:`~repro.net.scheduler.EventScheduler`), which schedules routed
+operations as callback chains so parallel fan-outs interleave in simulated
+time.  Events are ``(time, seq, callback)`` triples in a heap; ``seq``
+breaks ties FIFO so runs are deterministic.
 """
 
 from __future__ import annotations

@@ -11,6 +11,11 @@ query or experiment phase::
     print(f.messages, f.bytes)
 
 Frames nest; every active frame sees every message.
+
+Messages delivered by the event-driven scheduler carry a simulated-time
+timestamp (``record(..., at=...)``); a frame then also tracks the first and
+last delivery instants it saw, so a query frame reports its simulated span
+(:attr:`StatsFrame.completion_time`) alongside its message counts.
 """
 
 from __future__ import annotations
@@ -27,12 +32,31 @@ class StatsFrame:
     bytes: int = 0
     by_kind: Counter = field(default_factory=Counter)
     bytes_by_kind: Counter = field(default_factory=Counter)
+    first_time: float | None = None
+    last_time: float | None = None
 
-    def record(self, kind: str, size: int) -> None:
+    def record(self, kind: str, size: int, at: float | None = None) -> None:
         self.messages += 1
         self.bytes += size
         self.by_kind[kind] += 1
         self.bytes_by_kind[kind] += size
+        if at is not None:
+            if self.first_time is None or at < self.first_time:
+                self.first_time = at
+            if self.last_time is None or at > self.last_time:
+                self.last_time = at
+
+    @property
+    def completion_time(self) -> float:
+        """Latest simulated delivery instant seen (0.0 if never timestamped)."""
+        return self.last_time if self.last_time is not None else 0.0
+
+    @property
+    def span(self) -> float:
+        """Simulated time between the first and last timestamped delivery."""
+        if self.first_time is None or self.last_time is None:
+            return 0.0
+        return self.last_time - self.first_time
 
     def snapshot(self) -> dict:
         """Return a plain-dict summary (stable for logging/tests)."""
@@ -50,10 +74,10 @@ class NetworkStats:
         self.total = StatsFrame()
         self._frames: list[StatsFrame] = []
 
-    def record(self, kind: str, size: int) -> None:
-        self.total.record(kind, size)
+    def record(self, kind: str, size: int, at: float | None = None) -> None:
+        self.total.record(kind, size, at=at)
         for frame in self._frames:
-            frame.record(kind, size)
+            frame.record(kind, size, at=at)
 
     def push_frame(self) -> StatsFrame:
         frame = StatsFrame()

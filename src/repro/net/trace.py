@@ -12,11 +12,18 @@ latency.  Traces compose:
 This is the execution model all physical operators report through; the
 "query answer time" in the benchmarks is ``trace.latency`` of the root
 operator.
+
+Traces additionally carry a ``completion_time``: the absolute simulated-time
+instant at which the operation's last event fired when it ran in event-driven
+mode (see :mod:`repro.net.scheduler`).  Purely analytic traces leave it at
+``0.0``.  Under composition the completion time is the *latest* involved
+instant — sequential and parallel composition both take the max, because the
+field is an absolute timestamp, not a duration.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import ClassVar
 
 
@@ -27,6 +34,7 @@ class Trace:
     messages: int = 0
     hops: int = 0
     latency: float = 0.0
+    completion_time: float = 0.0
 
     ZERO: ClassVar["Trace"]  # populated below
 
@@ -36,6 +44,7 @@ class Trace:
             messages=self.messages + other.messages,
             hops=self.hops + other.hops,
             latency=self.latency + other.latency,
+            completion_time=max(self.completion_time, other.completion_time),
         )
 
     @staticmethod
@@ -48,12 +57,17 @@ class Trace:
             messages=sum(b.messages for b in branches),
             hops=max(b.hops for b in branches),
             latency=max(b.latency for b in branches),
+            completion_time=max(b.completion_time for b in branches),
         )
 
     @staticmethod
-    def hop(latency: float) -> "Trace":
-        """A single message taking ``latency`` seconds."""
-        return Trace(messages=1, hops=1, latency=latency)
+    def hop(latency: float, at: float = 0.0) -> "Trace":
+        """A single message taking ``latency`` seconds (delivered at ``at``)."""
+        return Trace(messages=1, hops=1, latency=latency, completion_time=at)
+
+    def finished_at(self, at: float) -> "Trace":
+        """Copy of this trace stamped with an absolute completion instant."""
+        return replace(self, completion_time=at)
 
     def __add__(self, other: "Trace") -> "Trace":
         """``+`` is sequential composition (alias of :meth:`then`)."""

@@ -108,7 +108,9 @@ class CostModel:
 
     # -- joins ---------------------------------------------------------------------
 
-    def ship_join(self, left_rows: float, left_senders: float, right_rows: float, right_senders: float) -> Cost:
+    def ship_join(
+        self, left_rows: float, left_senders: float, right_rows: float, right_senders: float
+    ) -> Cost:
         """Ship both inputs to the coordinator in one parallel wave."""
         return self.ship_rows(left_rows, left_senders).alongside(
             self.ship_rows(right_rows, right_senders)
@@ -118,9 +120,7 @@ class CostModel:
         """One parallel index lookup per distinct join value of the left side."""
         return self.parallel_lookups(distinct_probe_values)
 
-    def rehash_join(
-        self, left_rows: float, right_rows: float, result_rows: float
-    ) -> Cost:
+    def rehash_join(self, left_rows: float, right_rows: float, result_rows: float) -> Cost:
         """Symmetric re-hash: both inputs route to rendezvous peers in parallel."""
         hops = self.stats.expected_hops()
         transfers = (left_rows + right_rows) * 0.5 + 1  # batched by join value
@@ -140,6 +140,4 @@ class CostModel:
         """Gathering (locally pruned) ranking inputs at the coordinator."""
         if rows_shipped <= 0:
             return Cost()
-        return Cost(
-            messages=max(1.0, producer_count) + rows_shipped, latency=self.hop_latency
-        )
+        return Cost(messages=max(1.0, producer_count) + rows_shipped, latency=self.hop_latency)

@@ -146,9 +146,7 @@ class Planner:
             )
         if isinstance(node, Projection):
             child = self._plan(node.child)
-            extra = (
-                self.model.ship_rows(child.rows, child.producers) if node.distinct else Cost()
-            )
+            extra = (self.model.ship_rows(child.rows, child.producers) if node.distinct else Cost())
             producers = 1.0 if node.distinct else child.producers
             return Planned(
                 ProjectOp(child.op, node.variables, node.distinct),
@@ -246,9 +244,7 @@ class Planner:
 
         if subject_lit:
             rows = self.stats.estimate_pattern(pattern)
-            return Planned(
-                OidLookupScan(pattern, filters), self.model.lookup(), rows=rows
-            )
+            return Planned(OidLookupScan(pattern, filters), self.model.lookup(), rows=rows)
 
         if predicate_lit:
             attribute = str(pattern.predicate.value)  # type: ignore[union-attr]
@@ -257,9 +253,7 @@ class Planner:
 
             if object_lit:
                 rows = attr_count * self.stats.eq_selectivity(attribute)
-                return Planned(
-                    AvLookupScan(pattern, filters), self.model.lookup(), rows=rows
-                )
+                return Planned(AvLookupScan(pattern, filters), self.model.lookup(), rows=rows)
 
             # Constraints on the object variable refine the A#v access path.
             eq = _equality_value(constraints, object_var)
@@ -268,9 +262,7 @@ class Planner:
                 # range so the variable still gets bound from the triples.
                 rows = attr_count * self.stats.eq_selectivity(attribute)
                 return Planned(
-                    AvRangeScan(
-                        pattern, filters, low=eq, high=eq, algorithm=algorithm
-                    ),
+                    AvRangeScan(pattern, filters, low=eq, high=eq, algorithm=algorithm),
                     self.model.lookup(),
                     rows=rows,
                 )
@@ -421,9 +413,7 @@ class Planner:
             self.model.ship_join(left.rows, left.producers, right.rows, right.producers)
         )
         candidates.append(
-            Planned(
-                ShipJoin(left.op, right.op, tuple(shared)), ship_cost, rows=join_rows
-            )
+            Planned(ShipJoin(left.op, right.op, tuple(shared)), ship_cost, rows=join_rows)
         )
 
         # Strategy 2: index nested loop — right side must be a bare pattern.
@@ -452,9 +442,7 @@ class Planner:
                 self.model.rehash_join(left.rows, right.rows, join_rows)
             )
             candidates.append(
-                Planned(
-                    RehashJoin(left.op, right.op, tuple(shared)), rehash_cost, rows=join_rows
-                )
+                Planned(RehashJoin(left.op, right.op, tuple(shared)), rehash_cost, rows=join_rows)
             )
 
         forced = self.config.join_strategy
@@ -559,9 +547,7 @@ def _collect_star(node: LogicalPlan) -> tuple[str, list[TriplePattern], list] | 
 
     if not walk(node) or len(patterns) < 2:
         return None
-    subjects = {
-        p.subject.name if isinstance(p.subject, Var) else None for p in patterns
-    }
+    subjects = {p.subject.name if isinstance(p.subject, Var) else None for p in patterns}
     if len(subjects) != 1 or None in subjects:
         return None
     return subjects.pop(), patterns, filters

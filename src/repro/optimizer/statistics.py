@@ -48,7 +48,9 @@ class CatalogStatistics:
     # -- construction --------------------------------------------------------
 
     @classmethod
-    def from_store(cls, store: DistributedTripleStore, latency_samples: int = 64) -> "CatalogStatistics":
+    def from_store(
+        cls, store: DistributedTripleStore, latency_samples: int = 64
+    ) -> "CatalogStatistics":
         pnet = store.pnet
         stats = cls(
             num_peers=len(pnet.peers),
@@ -74,8 +76,10 @@ class CatalogStatistics:
             else:
                 attr.numeric_count += 1
                 value = float(triple.value)
-                attr.numeric_min = value if attr.numeric_min is None else min(attr.numeric_min, value)
-                attr.numeric_max = value if attr.numeric_max is None else max(attr.numeric_max, value)
+                if attr.numeric_min is None or value < attr.numeric_min:
+                    attr.numeric_min = value
+                if attr.numeric_max is None or value > attr.numeric_max:
+                    attr.numeric_max = value
         for name, attr in stats.attributes.items():
             attr.distinct = len(distinct_values.get(name, ()))
             if attr.string_count:
@@ -110,9 +114,7 @@ class CatalogStatistics:
             return 0.0
         return 1.0 / max(1, stats.distinct)
 
-    def range_selectivity(
-        self, attribute: str, low: Value | None, high: Value | None
-    ) -> float:
+    def range_selectivity(self, attribute: str, low: Value | None, high: Value | None) -> float:
         """Uniform-interpolation estimate of a numeric/string range."""
         stats = self.attributes.get(attribute)
         if not stats or not stats.count:
@@ -156,9 +158,7 @@ class CatalogStatistics:
             return max(1.0, avg_triples_per_oid) if not object_bound else 1.0
         if object_bound:
             # Value known, attribute unknown: sum of eq-selectivities.
-            return sum(
-                stats.count / max(1, stats.distinct) for stats in self.attributes.values()
-            )
+            return sum(stats.count / max(1, stats.distinct) for stats in self.attributes.values())
         return float(self.total_triples)
 
 

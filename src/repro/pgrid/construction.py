@@ -125,9 +125,7 @@ def wire_routing_tables(pnet: PGridNetwork, rng: random.Random | None = None) ->
             sample = rng.sample(candidates, min(pnet.fanout, len(candidates)))
             for ref in sample:
                 peer.routing.add(level, ref.node_id)
-        peer.replicas = [
-            p.node_id for p in groups.get(peer.path, []) if p is not peer
-        ]
+        peer.replicas = [p.node_id for p in groups.get(peer.path, []) if p is not peer]
 
 
 def build_network(
@@ -208,7 +206,9 @@ def bulk_load(pnet: PGridNetwork, items: list[tuple[str, str, object]]) -> None:
 # ---------------------------------------------------------------------------
 
 
-def exchange(p: PGridPeer, q: PGridPeer, capacity: int, max_depth: int = 16, _depth: int = 0) -> None:
+def exchange(
+    p: PGridPeer, q: PGridPeer, capacity: int, max_depth: int = 16, _depth: int = 0
+) -> None:
     """One pairwise P-Grid exchange between peers ``p`` and ``q``.
 
     Implements the three cases of Aberer's construction algorithm:

@@ -153,9 +153,7 @@ def rebalance(
     return splits
 
 
-def _find_donor(
-    pnet: PGridNetwork, capacity: int, exclude_path: str
-) -> PGridPeer | None:
+def _find_donor(pnet: PGridNetwork, capacity: int, exclude_path: str) -> PGridPeer | None:
     """An online peer from the least-loaded group that can spare a member."""
     groups = pnet.leaf_groups()
     candidates = [
@@ -182,10 +180,8 @@ def load_imbalance(pnet: PGridNetwork) -> dict[str, float]:
     n = len(loads)
     mean = total / n
     # Gini coefficient over the sorted loads.
-    cumulative = 0.0
     weighted = 0.0
     for index, load in enumerate(loads, start=1):
-        cumulative += load
         weighted += index * load
     gini = (2 * weighted) / (n * total) - (n + 1) / n
     return {

@@ -18,15 +18,30 @@ They group a batch of keys by responsible region, route *once per region*
 one sized replica message per region, so the per-message routing cost
 amortizes across the batch.  Upper layers (triple store, MQP probes) publish
 and probe through these.
+
+Every data operation runs in one of two execution models:
+
+* **causal trace** (default) — messages are accounted synchronously and
+  latency is composed analytically (``Trace.parallel`` takes the max);
+* **event-driven** — inside :meth:`PGridNetwork.event_driven`, hop chains
+  become callback chains on a shared discrete-event clock
+  (:class:`~repro.net.scheduler.EventScheduler`): region fan-outs and
+  replica pushes genuinely interleave, and an operation completes at the
+  *measured* max arrival across its regions.  Routing decisions and message
+  accounting are identical in both models; only how latency arises differs.
 """
 
 from __future__ import annotations
 
 import random
 from collections import defaultdict
+from contextlib import contextmanager
+from typing import Iterator
 
 from repro.errors import RoutingError
 from repro.net.network import Network
+from repro.net.scheduler import EventScheduler
+from repro.net.simulator import EventSimulator
 from repro.net.trace import Trace
 from repro.pgrid.datastore import Entry
 from repro.pgrid.keys import KeyRange, is_complete_partition, responsible
@@ -45,6 +60,47 @@ class PGridNetwork:
         self.rng = random.Random(seed ^ 0x5EED)
         self.peers: list[PGridPeer] = []
         self._clock = 0  # Lamport-style version counter for updates
+        self.scheduler: EventScheduler | None = None
+
+    # -- execution model -----------------------------------------------------
+
+    def attach_scheduler(self, simulator: EventSimulator | None = None) -> EventScheduler:
+        """Switch data operations to event-driven (simulated-time) execution."""
+        self.scheduler = EventScheduler(self.net, simulator)
+        return self.scheduler
+
+    def detach_scheduler(self) -> None:
+        """Return to causal-trace execution (any pending events are dropped)."""
+        self.scheduler = None
+
+    @contextmanager
+    def event_driven(self, simulator: EventSimulator | None = None) -> Iterator[EventScheduler]:
+        """Scope event-driven execution::
+
+            with pnet.event_driven() as sched:
+                results, trace = pnet.lookup_many(keys)
+            # trace.latency was measured on sched's clock
+        """
+        scheduler = self.attach_scheduler(simulator)
+        try:
+            yield scheduler
+        finally:
+            if self.scheduler is scheduler:
+                self.detach_scheduler()
+
+    def ship(self, src_id: str, dst_id: str, kind: str, size: int = 1) -> Trace:
+        """One accounted message in the active execution model."""
+        if self.scheduler is None or src_id == dst_id:
+            return self.net.send(src_id, dst_id, kind, size)
+        return self.scheduler.fanout([(src_id, dst_id, kind, size)])
+
+    def ship_many(self, sends: list[tuple[str, str, str, int]]) -> Trace:
+        """Concurrent ``(src, dst, kind, size)`` messages; completes at the max."""
+        if not sends:
+            return Trace.ZERO
+        if self.scheduler is None:
+            return Trace.parallel([self.net.send(*send) for send in sends])
+        return self.scheduler.fanout(sends)
 
     # -- membership ----------------------------------------------------------
 
@@ -98,14 +154,13 @@ class PGridNetwork:
         entry = Entry(key=key, item_id=item_id, value=value, version=version)
         # Point semantics: land on the exact responsible leaf, not merely an
         # entry point into the key's subtree (matters for deep tries).
-        destination, trace = route(start, point_key(key), kind=kind)
+        destination, trace = route(start, point_key(key), kind=kind, scheduler=self.scheduler)
         destination.store.put(entry)
         pushes = []
         for replica_id in destination.online_replicas():
-            hop = self.net.send(destination.node_id, replica_id, kind, size=1)
             self.net.nodes[replica_id].store.put(entry)
-            pushes.append(hop)
-        return trace.then(Trace.parallel(pushes)) if pushes else trace
+            pushes.append((destination.node_id, replica_id, kind, 1))
+        return trace.then(self.ship_many(pushes)) if pushes else trace
 
     def lookup(
         self, key: str, start: PGridPeer | None = None, kind: str = "lookup"
@@ -117,9 +172,7 @@ class PGridNetwork:
         start = start or self.random_online_peer()
         entries, trace, destination = self.lookup_at(key, start=start, kind=kind)
         if destination is not start:
-            reply = self.net.send(
-                destination.node_id, start.node_id, kind, size=max(1, len(entries))
-            )
+            reply = self.ship(destination.node_id, start.node_id, kind, size=max(1, len(entries)))
             trace = trace.then(reply)
         return entries, trace
 
@@ -133,7 +186,7 @@ class PGridNetwork:
         data flows (ship-to-coordinator vs. re-hash to rendezvous peers).
         """
         start = start or self.random_online_peer()
-        destination, trace = route(start, point_key(key), kind=kind)
+        destination, trace = route(start, point_key(key), kind=kind, scheduler=self.scheduler)
         return destination.store.get(key), trace, destination
 
     # -- bulk data operations (destination-grouped, message-accounted) ---------
@@ -158,9 +211,7 @@ class PGridNetwork:
                     start, point_key(representative), rng=rng or self.rng
                 )
             except RoutingError as error:
-                error.trace = replay_hops(
-                    self.net, getattr(error, "hops", []), kind, 1
-                )
+                error.trace = replay_hops(self.net, getattr(error, "hops", []), kind, 1)
                 raise
             # Point semantics (zero-padded comparison), matching the route
             # above: a key is covered iff this leaf holds its point.
@@ -184,6 +235,10 @@ class PGridNetwork:
         therefore never exceed (and usually far undercut) the equivalent
         sequence of single :meth:`insert` calls.  Regions fan out in
         parallel; returns the combined trace.
+
+        In event-driven mode the per-region chains and replica pushes run as
+        interleaved events on the simulated clock and the call completes at
+        the measured max across regions.
         """
         if not items:
             return Trace.ZERO
@@ -191,29 +246,68 @@ class PGridNetwork:
         by_key: dict[str, list[tuple[str, object]]] = defaultdict(list)
         for key, item_id, value in items:
             by_key[key].append((item_id, value))
-        branches = []
+        regions = []
         for destination, region_keys, hops in self._route_regions(by_key, start, kind):
             entries = [
                 Entry(key=key, item_id=item_id, value=value, version=self.next_version())
                 for key in region_keys
                 for item_id, value in by_key[key]
             ]
-            batch = len(entries)
-            trace = replay_hops(self.net, hops, kind, batch)
             for entry in entries:
                 destination.store.put(entry)
-            pushes = []
-            for replica_id in destination.online_replicas():
-                hop = self.net.send(destination.node_id, replica_id, kind, size=batch)
+            replica_ids = destination.online_replicas()
+            for replica_id in replica_ids:
                 replica = self.net.nodes[replica_id]
                 assert isinstance(replica, PGridPeer)
                 for entry in entries:
                     replica.store.put(entry)
-                pushes.append(hop)
+            regions.append((destination, hops, len(entries), replica_ids))
+
+        if self.scheduler is not None:
+            return self._run_regions_event(regions, kind)
+
+        branches = []
+        for destination, hops, batch, replica_ids in regions:
+            trace = replay_hops(self.net, hops, kind, batch)
+            pushes = [
+                self.net.send(destination.node_id, replica_id, kind, size=batch)
+                for replica_id in replica_ids
+            ]
             if pushes:
                 trace = trace.then(Trace.parallel(pushes))
             branches.append(trace)
         return Trace.parallel(branches)
+
+    def _run_regions_event(
+        self,
+        regions: list[tuple[PGridPeer, list[tuple[str, str]], int, list[str]]],
+        kind: str,
+    ) -> Trace:
+        """Run insert-style region fan-outs as interleaved simulated events.
+
+        Every region's hop chain starts at the same instant; when a chain
+        arrives at its destination the replica pushes depart concurrently.
+        The combined trace completes at the max arrival over all regions and
+        pushes — measured, not composed.
+        """
+        scheduler = self.scheduler
+        assert scheduler is not None
+        chains = []
+        for destination, hops, batch, replica_ids in regions:
+
+            def pushes(
+                _time: float,
+                destination: PGridPeer = destination,
+                batch: int = batch,
+                replica_ids: list[str] = replica_ids,
+            ) -> list[tuple[str, str, str, int]]:
+                return [
+                    (destination.node_id, replica_id, kind, batch)
+                    for replica_id in replica_ids
+                ]
+
+            chains.append((hops, kind, batch, pushes))
+        return scheduler.run_chains(chains)
 
     def lookup_many(
         self, keys, start: PGridPeer | None = None, kind: str = "lookup"
@@ -224,14 +318,23 @@ class PGridNetwork:
         (possibly empty) entry list its destination holds.  The reply message
         per region is sized by the region's total result, mirroring
         :meth:`lookup`'s answer shipping.
+
+        In event-driven mode the per-region chains interleave on the
+        simulated clock (each destination reads its store at its arrival
+        instant) and the call completes when the last region's reply lands —
+        the max, not the sum, of the chain latencies.
         """
         start = start or self.random_online_peer()
         unique = set(keys)
         if not unique:
             return {}, Trace.ZERO
+        regions = self._route_regions(unique, start, kind)
         results: dict[str, list[Entry]] = {}
+        if self.scheduler is not None:
+            trace = self._lookup_regions_event(regions, results, start, kind)
+            return results, trace
         branches = []
-        for destination, region_keys, hops in self._route_regions(unique, start, kind):
+        for destination, region_keys, hops in regions:
             trace = replay_hops(self.net, hops, kind, len(region_keys))
             found = 0
             for key in region_keys:
@@ -240,16 +343,46 @@ class PGridNetwork:
                 found += len(entries)
             if destination is not start:
                 trace = trace.then(
-                    self.net.send(
-                        destination.node_id, start.node_id, kind, size=max(1, found)
-                    )
+                    self.net.send(destination.node_id, start.node_id, kind, size=max(1, found))
                 )
             branches.append(trace)
         return results, Trace.parallel(branches)
 
-    def delete(
-        self, key: str, item_id: str, start: PGridPeer | None = None
-    ) -> tuple[bool, Trace]:
+    def _lookup_regions_event(
+        self,
+        regions: list[tuple[PGridPeer, list[str], list[tuple[str, str]]]],
+        results: dict[str, list[Entry]],
+        start: PGridPeer,
+        kind: str,
+    ) -> Trace:
+        """Event-driven multi-region lookup: chains out, replies back, max wins.
+
+        Each destination reads its store *at its arrival instant*; a region
+        completes when its reply lands back at ``start``.
+        """
+        scheduler = self.scheduler
+        assert scheduler is not None
+        chains = []
+        for destination, region_keys, hops in regions:
+
+            def arrived(
+                _time: float,
+                destination: PGridPeer = destination,
+                region_keys: list[str] = region_keys,
+            ) -> list[tuple[str, str, str, int]]:
+                found = 0
+                for key in region_keys:
+                    entries = destination.store.get(key)
+                    results[key] = entries
+                    found += len(entries)
+                if destination is not start:
+                    return [(destination.node_id, start.node_id, kind, max(1, found))]
+                return []
+
+            chains.append((hops, kind, len(region_keys), arrived))
+        return scheduler.run_chains(chains)
+
+    def delete(self, key: str, item_id: str, start: PGridPeer | None = None) -> tuple[bool, Trace]:
         """Remove an identity from the responsible group's online replicas.
 
         Offline replicas keep their copy until anti-entropy with a tombstone
@@ -257,17 +390,16 @@ class PGridNetwork:
         replicas only (a documented simplification of ref. [4]).
         """
         start = start or self.random_online_peer()
-        destination, trace = route(start, point_key(key), kind="delete")
+        destination, trace = route(start, point_key(key), kind="delete", scheduler=self.scheduler)
         removed = destination.store.delete(key, item_id)
         pushes = []
         for replica_id in destination.online_replicas():
-            hop = self.net.send(destination.node_id, replica_id, "delete", size=1)
             replica = self.net.nodes[replica_id]
             assert isinstance(replica, PGridPeer)
             removed = replica.store.delete(key, item_id) or removed
-            pushes.append(hop)
+            pushes.append((destination.node_id, replica_id, "delete", 1))
         if pushes:
-            trace = trace.then(Trace.parallel(pushes))
+            trace = trace.then(self.ship_many(pushes))
         return removed, trace
 
     def update(

@@ -17,13 +17,23 @@ trade-off the paper's cost-model/strategy discussion builds on:
 Both return ``(entries, trace, complete)`` — ``complete`` is False when some
 subtree was unreachable (all its replicas offline), matching the paper's
 best-effort guarantee discussion.
+
+When the overlay runs in event-driven mode (:meth:`PGridNetwork.event_driven`)
+the shower's fan-out tree is executed as interleaved events on the simulated
+clock: every edge of the tree departs when its parent actually received the
+query, sibling subtrees race each other, and the query completes when the
+last result funnels back — the measured counterpart of the analytic
+``Trace.parallel``.  The tree itself (which references are chosen) is
+identical in both models, so message counts agree.
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass, field
 
 from repro.errors import RoutingError
+from repro.net.scheduler import EventScheduler
 from repro.net.trace import Trace
 from repro.pgrid.datastore import Entry
 from repro.pgrid.keys import KeyRange, increment_path
@@ -42,6 +52,10 @@ def range_query_shower(
     """Parallel (shower) range query; results funnel back to the initiator."""
     start = start or pnet.random_online_peer()
     rng = rng or pnet.rng
+    if pnet.scheduler is not None:
+        return _shower_event(
+            pnet, pnet.scheduler, start, key_range, rng, kind, collect=True, groups=None
+        )
     entries, trace, complete = _shower_visit(
         pnet, start, key_range, cover="", rng=rng, kind=kind, collect=True, groups=None
     )
@@ -64,6 +78,11 @@ def range_query_shower_groups(
     start = start or pnet.random_online_peer()
     rng = rng or pnet.rng
     groups: list[tuple[str, list[Entry]]] = []
+    if pnet.scheduler is not None:
+        _entries, trace, complete = _shower_event(
+            pnet, pnet.scheduler, start, key_range, rng, kind, collect=False, groups=groups
+        )
+        return groups, trace, complete
     _entries, trace, complete = _shower_visit(
         pnet, start, key_range, cover="", rng=rng, kind=kind, collect=False, groups=groups
     )
@@ -107,8 +126,14 @@ def _shower_visit(
         hop = pnet.net.send(peer.node_id, ref_id, kind, size=1)
         child = pnet.net.nodes[ref_id]
         sub_entries, sub_trace, sub_complete = _shower_visit(
-            pnet, child, key_range, cover=subtree, rng=rng, kind=kind,
-            collect=collect, groups=groups,
+            pnet,
+            child,
+            key_range,
+            cover=subtree,
+            rng=rng,
+            kind=kind,
+            collect=collect,
+            groups=groups,
         )
         branch = hop.then(sub_trace)
         if collect:
@@ -121,6 +146,167 @@ def _shower_visit(
 
     trace = Trace.parallel(branches) if branches else Trace.ZERO
     return local, trace, complete
+
+
+# -- event-driven shower ------------------------------------------------------
+
+
+@dataclass
+class _ShowerNode:
+    """One visited peer in a pre-expanded shower fan-out tree."""
+
+    peer: PGridPeer
+    cover: str
+    local: list[Entry]
+    children: list["_ShowerNode"] = field(default_factory=list)
+    complete: bool = True
+
+
+def _expand_shower(
+    pnet: PGridNetwork,
+    peer: PGridPeer,
+    key_range: KeyRange,
+    cover: str,
+    rng: random.Random,
+) -> _ShowerNode:
+    """Choose the fan-out tree without sending anything.
+
+    Reference choices are drawn in the exact order the synchronous
+    depth-first :func:`_shower_visit` draws them, so for a given seed both
+    execution models traverse the identical tree (and therefore send the
+    identical messages); only *when* each edge fires differs.
+    """
+    node = _ShowerNode(peer=peer, cover=cover, local=peer.store.scan(key_range))
+    for level in range(len(cover), len(peer.path)):
+        subtree = peer.required_prefix(level)
+        if not key_range.intersects_path(subtree):
+            continue
+        refs = peer.valid_refs(level)
+        if not refs:
+            node.complete = False
+            continue
+        ref_id = rng.choice(refs)
+        child_peer = pnet.net.nodes[ref_id]
+        assert isinstance(child_peer, PGridPeer)
+        child = _expand_shower(pnet, child_peer, key_range, subtree, rng)
+        node.children.append(child)
+        node.complete = node.complete and child.complete
+    return node
+
+
+def _shower_cost(node: _ShowerNode, collect: bool) -> tuple[int, int]:
+    """(total messages, critical-path hops) of a fan-out tree."""
+    per_edge = 2 if collect else 1  # forward edge, plus the funnel-back edge
+    messages = 0
+    critical = 0
+    for child in node.children:
+        child_messages, child_critical = _shower_cost(child, collect)
+        messages += per_edge + child_messages
+        critical = max(critical, per_edge + child_critical)
+    return messages, critical
+
+
+def _shower_event(
+    pnet: PGridNetwork,
+    scheduler: EventScheduler,
+    start: PGridPeer,
+    key_range: KeyRange,
+    rng: random.Random,
+    kind: str,
+    collect: bool,
+    groups: list[tuple[str, list[Entry]]] | None,
+) -> tuple[list[Entry], Trace, bool]:
+    """Run a shower fan-out as interleaved events on the simulated clock.
+
+    Each tree edge departs at the instant its parent received the query, so
+    sibling subtrees race; with ``collect`` the results funnel back along
+    the tree and a node completes when its slowest child's reply lands.
+    The returned trace carries the *measured* latency and completion time.
+    """
+    tree = _expand_shower(pnet, start, key_range, cover="", rng=rng)
+    start_time = scheduler.now
+    messages, critical_hops = _shower_cost(tree, collect)
+    outcome: dict[str, object] = {"entries": [], "time": start_time}
+
+    def finished(entries: list[Entry], time: float) -> None:
+        outcome["entries"] = entries
+        outcome["time"] = time
+
+    _schedule_shower_node(scheduler, tree, start_time, kind, collect, groups, finished)
+    scheduler.run()
+    completion = float(outcome["time"])  # type: ignore[arg-type]
+    entries = outcome["entries"] if collect else []
+    trace = Trace(
+        messages=messages,
+        hops=critical_hops,
+        latency=completion - start_time,
+        completion_time=completion,
+    )
+    return entries, trace, tree.complete  # type: ignore[return-value]
+
+
+def _schedule_shower_node(
+    scheduler: EventScheduler,
+    node: _ShowerNode,
+    at: float,
+    kind: str,
+    collect: bool,
+    groups: list[tuple[str, list[Entry]]] | None,
+    on_done,
+) -> None:
+    """Serve ``node`` at instant ``at``; call ``on_done(entries, time)``.
+
+    Runs inside the event loop: forward edges to all children depart at
+    ``at`` concurrently, every child recursively schedules its own subtree
+    on arrival, and (with ``collect``) the node completes when the last
+    funnel-back reply has been delivered.
+    """
+    if groups is not None and node.local:
+        groups.append((node.peer.node_id, node.local))
+    entries = list(node.local) if collect else []
+    if not node.children:
+        on_done(entries, at)
+        return
+    pending = {"count": len(node.children), "finish": at}
+
+    def merged(child_entries: list[Entry], time: float) -> None:
+        if collect:
+            entries.extend(child_entries)
+        pending["count"] -= 1
+        pending["finish"] = max(pending["finish"], time)
+        if pending["count"] == 0:
+            on_done(entries, pending["finish"])
+
+    def child_done(child: _ShowerNode, child_entries: list[Entry], time: float) -> None:
+        if collect:
+            # Results return along the tree edge; size reflects the payload.
+            scheduler.send_at(
+                time,
+                child.peer.node_id,
+                node.peer.node_id,
+                kind,
+                max(1, len(child_entries)),
+                on_delivered=lambda arrival: merged(child_entries, arrival),
+            )
+        else:
+            merged(child_entries, time)
+
+    for child in node.children:
+
+        def arrived(time: float, child: _ShowerNode = child) -> None:
+            _schedule_shower_node(
+                scheduler,
+                child,
+                time,
+                kind,
+                collect,
+                groups,
+                lambda child_entries, done_time, child=child: child_done(
+                    child, child_entries, done_time
+                ),
+            )
+
+        scheduler.send_at(at, node.peer.node_id, child.peer.node_id, kind, 1, on_delivered=arrived)
 
 
 def range_query_sequential_groups(
@@ -169,7 +355,9 @@ def _sequential_walk(
     complete = True
 
     try:
-        current, trace = route(start, _left_edge(key_range.lo), kind=kind, rng=rng)
+        current, trace = route(
+            start, _left_edge(key_range.lo), kind=kind, rng=rng, scheduler=pnet.scheduler
+        )
     except RoutingError as error:
         return [], getattr(error, "trace", Trace.ZERO), False
 
@@ -182,7 +370,9 @@ def _sequential_walk(
         if next_key is None or not key_range.contains(next_key):
             break
         try:
-            current, hop_trace = route(current, _left_edge(next_key), kind=kind, rng=rng)
+            current, hop_trace = route(
+                current, _left_edge(next_key), kind=kind, rng=rng, scheduler=pnet.scheduler
+            )
         except RoutingError as error:
             trace = trace.then(getattr(error, "trace", Trace.ZERO))
             complete = False
@@ -192,7 +382,7 @@ def _sequential_walk(
     # Ship the collected result back to the initiator.
     if collect and current is not start:
         trace = trace.then(
-            pnet.net.send(current.node_id, start.node_id, kind, size=max(1, len(entries)))
+            pnet.ship(current.node_id, start.node_id, kind, size=max(1, len(entries)))
         )
     return entries, trace, complete
 

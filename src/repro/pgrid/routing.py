@@ -24,7 +24,9 @@ operations in :mod:`repro.pgrid.network`:
 * **deferred accounting** — :func:`route_hops` discovers the hop sequence
   without sending anything, so bulk operations can group keys by destination
   first and then charge each route *once per region* with the region's real
-  batch size (:func:`replay_hops`).
+  batch size (:func:`replay_hops`), or schedule it as a callback chain on an
+  event-driven scheduler so chains to different regions interleave in
+  simulated time (:func:`schedule_hops`).
 """
 
 from __future__ import annotations
@@ -40,6 +42,7 @@ from repro.pgrid.peer import PGridPeer
 
 if TYPE_CHECKING:
     from repro.net.network import Network
+    from repro.net.scheduler import Completion, EventScheduler
 
 #: Hard bound on route length; ordinary routes are O(log N) so hitting this
 #: indicates a broken overlay rather than a long route.
@@ -218,14 +221,30 @@ def route_hops(
     raise error
 
 
-def replay_hops(
-    network: "Network", hops: list[tuple[str, str]], kind: str, size: int
-) -> Trace:
+def replay_hops(network: "Network", hops: list[tuple[str, str]], kind: str, size: int) -> Trace:
     """Account a discovered hop sequence as sent messages of ``size``."""
     trace = Trace.ZERO
     for src, dst in hops:
         trace = trace.then(network.send(src, dst, kind, size))
     return trace
+
+
+def schedule_hops(
+    scheduler: "EventScheduler",
+    hops: list[tuple[str, str]],
+    kind: str,
+    size: int,
+    at: float | None = None,
+    on_done: "Completion | None" = None,
+) -> None:
+    """Schedule a discovered hop sequence as an event-driven callback chain.
+
+    The event-driven counterpart of :func:`replay_hops`: same messages, same
+    sizes, but hop *i + 1* departs when hop *i* is delivered on the
+    simulated clock, so chains to different regions interleave.  ``on_done``
+    fires with the arrival instant at the destination.
+    """
+    scheduler.chain(hops, kind, size, at=at, on_done=on_done)
 
 
 def route(
@@ -235,6 +254,7 @@ def route(
     size: int = 1,
     rng: random.Random | None = None,
     use_cache: bool = True,
+    scheduler: "EventScheduler | None" = None,
 ) -> tuple[PGridPeer, Trace]:
     """Route a message from ``start`` towards ``key``.
 
@@ -242,10 +262,40 @@ def route(
     :class:`RoutingError` (with the partial trace attached as ``.trace``)
     when the route dead-ends, e.g. because every peer covering the key's
     region is offline.
+
+    With a ``scheduler`` the discovered chain runs in simulated time instead
+    of being replayed analytically: the clock advances to the destination's
+    arrival instant and the returned trace carries it as
+    ``completion_time``.  Message accounting is identical either way.
     """
     try:
         destination, hops = route_hops(start, key, rng=rng, use_cache=use_cache)
     except RoutingError as error:
-        error.trace = replay_hops(start.network, getattr(error, "hops", []), kind, size)
+        error.trace = _account_hops(
+            start.network, getattr(error, "hops", []), kind, size, scheduler
+        )
         raise
-    return destination, replay_hops(start.network, hops, kind, size)
+    return destination, _account_hops(start.network, hops, kind, size, scheduler)
+
+
+def _account_hops(
+    network: "Network",
+    hops: list[tuple[str, str]],
+    kind: str,
+    size: int,
+    scheduler: "EventScheduler | None",
+) -> Trace:
+    """Charge a hop sequence in the active execution model."""
+    if scheduler is None:
+        return replay_hops(network, hops, kind, size)
+    start_time = scheduler.now
+    arrivals: list[float] = []
+    schedule_hops(scheduler, hops, kind, size, at=start_time, on_done=arrivals.append)
+    scheduler.run()
+    finish = arrivals[0] if arrivals else start_time
+    return Trace(
+        messages=len(hops),
+        hops=len(hops),
+        latency=finish - start_time,
+        completion_time=finish,
+    )

@@ -65,14 +65,19 @@ class OpResult:
         return sum(len(bindings) for _peer, bindings in self.groups)
 
     def shipped_to(self, ctx: ExecutionContext, dest_id: str, kind: str = "ship") -> "OpResult":
-        """Move every group to one peer (parallel sends, sized by payload)."""
+        """Move every group to one peer (parallel sends, sized by payload).
+
+        The sends go through :meth:`PGridNetwork.ship_many`, so under
+        event-driven execution the shipping wave fans out concurrently on
+        the simulated clock and completes at the slowest group's arrival.
+        """
         rows: list[Binding] = []
-        sends: list[Trace] = []
+        sends: list[tuple[str, str, str, int]] = []
         for peer_id, bindings in self.groups:
             rows.extend(bindings)
             if peer_id != dest_id and bindings:
-                sends.append(ctx.pnet.net.send(peer_id, dest_id, kind, size=len(bindings)))
-        trace = self.trace.then(Trace.parallel(sends)) if sends else self.trace
+                sends.append((peer_id, dest_id, kind, len(bindings)))
+        trace = self.trace.then(ctx.pnet.ship_many(sends)) if sends else self.trace
         return OpResult(groups=[(dest_id, rows)], trace=trace, complete=self.complete)
 
     def at_coordinator(self, ctx: ExecutionContext, kind: str = "ship") -> "OpResult":

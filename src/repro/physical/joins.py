@@ -41,7 +41,7 @@ from repro.physical.base import (
     PhysicalOperator,
     match_postings,
 )
-from repro.pgrid.routing import point_key, route
+from repro.pgrid.routing import point_key, replay_hops, route_hops
 from repro.triples.index import IndexKind, av_key, oid_key, v_key
 from repro.vql.ast import Expression, Literal, TriplePattern, Var
 
@@ -152,9 +152,7 @@ class IndexNestedLoopJoin(_JoinBase):
             complete=left_result.complete,
         )
 
-    def _lookup_position(
-        self, pattern: TriplePattern, left_rows: list[Binding]
-    ) -> tuple[str, str]:
+    def _lookup_position(self, pattern: TriplePattern, left_rows: list[Binding]) -> tuple[str, str]:
         """Which position of the right pattern the shared variable sits in."""
         left_vars = set().union(*(set(b) for b in left_rows)) if left_rows else set()
         if isinstance(pattern.subject, Var) and pattern.subject.name in left_vars:
@@ -166,7 +164,9 @@ class IndexNestedLoopJoin(_JoinBase):
             "subject or object"
         )
 
-    def _index_key(self, pattern: TriplePattern, position: str, value) -> tuple[str | None, IndexKind]:
+    def _index_key(
+        self, pattern: TriplePattern, position: str, value
+    ) -> tuple[str | None, IndexKind]:
         if position == "subject":
             # OIDs are strings; coerce like the MQP probe so non-string join
             # values probe the same key instead of being dropped.
@@ -193,9 +193,7 @@ class RehashJoin(_JoinBase):
         right_result = self.right.execute(ctx)
         left_rows_all = left_result.all_bindings()
         right_rows_all = right_result.all_bindings()
-        shared = list(self.join_variables) or self._shared_variables(
-            left_rows_all, right_rows_all
-        )
+        shared = list(self.join_variables) or self._shared_variables(left_rows_all, right_rows_all)
         if not shared:
             # Cartesian products cannot rendezvous — fall back to shipping.
             ship = ShipJoin(self.left, self.right)
@@ -205,7 +203,11 @@ class RehashJoin(_JoinBase):
             lambda: defaultdict(list)
         )
         complete = left_result.complete and right_result.complete
-        ship_branches: list[Trace] = []
+        # First pass: discover every bucket's route (no messages yet), so the
+        # shipping wave can then be charged in whichever execution model is
+        # active — analytic replay, or interleaved events at a common start.
+        plans: list[tuple[list[tuple[str, str]], tuple[str, str, int] | None]] = []
+        failed_routes: list[list[tuple[str, str]]] = []
         for result, is_left in ((left_result, True), (right_result, False)):
             for peer_id, rows in result.groups:
                 by_value: dict[tuple, list[Binding]] = defaultdict(list)
@@ -220,11 +222,10 @@ class RehashJoin(_JoinBase):
                     # deeper than the rendezvous key.
                     rendezvous_key = point_key(v_key(_rendezvous_value(value_key)))
                     try:
-                        dest, trace = route(
-                            producer, rendezvous_key, kind="join-rehash", rng=ctx.rng
-                        )
-                    except RoutingError:
+                        dest, hops = route_hops(producer, rendezvous_key, rng=ctx.rng)
+                    except RoutingError as error:
                         complete = False
+                        failed_routes.append(getattr(error, "hops", []))
                         continue
                     # Routing may land on any replica of the responsible
                     # group; both sides must meet at the SAME peer, so
@@ -233,26 +234,20 @@ class RehashJoin(_JoinBase):
                     candidates = [dest.node_id, *dest.online_replicas()]
                     rendezvous_id = min(candidates)
                     if rendezvous_id != dest.node_id:
-                        trace = trace.then(
-                            ctx.pnet.net.send(
-                                dest.node_id, rendezvous_id, "join-rehash", len(bucket)
-                            )
-                        )
+                        payload = (dest.node_id, rendezvous_id, len(bucket))
                     elif dest is not producer:
-                        trace = trace.then(
-                            ctx.pnet.net.send(
-                                producer.node_id, dest.node_id, "join-rehash", len(bucket)
-                            )
-                        )
-                    ship_branches.append(trace)
+                        payload = (producer.node_id, dest.node_id, len(bucket))
+                    else:
+                        payload = None
+                    plans.append((hops, payload))
                     for row in bucket:
                         arrivals[rendezvous_id][str(value_key)].append((row, is_left))
 
-        arrival_trace = Trace.parallel(ship_branches) if ship_branches else Trace.ZERO
+        arrival_trace = self._ship_buckets(ctx, plans, failed_routes)
         base = Trace.parallel([left_result.trace, right_result.trace]).then(arrival_trace)
 
         joined_all: list[Binding] = []
-        result_sends: list[Trace] = []
+        result_sends: list[tuple[str, str, str, int]] = []
         for dest_id, by_value in arrivals.items():
             local_matches: list[Binding] = []
             for _value, pairs in by_value.items():
@@ -261,17 +256,59 @@ class RehashJoin(_JoinBase):
                 local_matches.extend(_hash_join(lefts, rights, shared))
             if local_matches:
                 result_sends.append(
-                    ctx.pnet.net.send(
-                        dest_id, ctx.coordinator.node_id, "join-result", len(local_matches)
-                    )
+                    (dest_id, ctx.coordinator.node_id, "join-result", len(local_matches))
                 )
                 joined_all.extend(local_matches)
-        trace = base.then(Trace.parallel(result_sends)) if result_sends else base
+        trace = base.then(ctx.pnet.ship_many(result_sends)) if result_sends else base
         return OpResult(
             groups=[(ctx.coordinator.node_id, joined_all)] if joined_all else [],
             trace=trace,
             complete=complete,
         )
+
+    @staticmethod
+    def _ship_buckets(
+        ctx: ExecutionContext,
+        plans: list[tuple[list[tuple[str, str]], tuple[str, str, int] | None]],
+        failed_routes: list[list[tuple[str, str]]],
+    ) -> Trace:
+        """Charge the per-bucket rendezvous shipping wave.
+
+        Causal-trace mode replays every bucket's hops analytically and takes
+        the slowest branch; event-driven mode starts all chains at the same
+        instant so producers race on the simulated clock, and the wave
+        completes at the measured max.  Partial hops of failed routes are
+        accounted (they were sent) but never complete, matching the
+        best-effort semantics of the synchronous path.
+        """
+        pnet = ctx.pnet
+        scheduler = pnet.scheduler
+        if scheduler is None:
+            branches = []
+            for hops, payload in plans:
+                trace = replay_hops(pnet.net, hops, "join-rehash", 1)
+                if payload is not None:
+                    src, dst, size = payload
+                    trace = trace.then(pnet.net.send(src, dst, "join-rehash", size))
+                branches.append(trace)
+            for hops in failed_routes:
+                replay_hops(pnet.net, hops, "join-rehash", 1)
+            return Trace.parallel(branches) if branches else Trace.ZERO
+
+        chains = []
+        for hops, payload in plans:
+
+            def arrived(
+                _time: float, payload: tuple[str, str, int] | None = payload
+            ) -> list[tuple[str, str, str, int]]:
+                if payload is None:
+                    return []
+                src, dst, size = payload
+                return [(src, dst, "join-rehash", size)]
+
+            chains.append((hops, "join-rehash", 1, arrived))
+        untracked = [(hops, "join-rehash", 1) for hops in failed_routes]
+        return scheduler.run_chains(chains, untracked=untracked)
 
 
 def _rendezvous_value(value_key: tuple) -> str:
@@ -283,7 +320,9 @@ def _consistent(a: Binding, b: Binding) -> bool:
     return all(b.get(name, value) == value for name, value in a.items() if name in b)
 
 
-def _hash_join(left_rows: list[Binding], right_rows: list[Binding], shared: list[str]) -> list[Binding]:
+def _hash_join(
+    left_rows: list[Binding], right_rows: list[Binding], shared: list[str]
+) -> list[Binding]:
     if not shared:
         return [merge_bindings(l, r) for l in left_rows for r in right_rows]
     if len(right_rows) < len(left_rows):

@@ -315,9 +315,7 @@ class QGramScan(_ScanBase):
         candidates: dict[tuple[str, str, Value], Triple] = {}
         branches: list[Trace] = []
         for gram in self._probe_grams():
-            entries, trace = ctx.pnet.lookup(
-                qgram_key(gram), start=ctx.coordinator, kind="qgram"
-            )
+            entries, trace = ctx.pnet.lookup(qgram_key(gram), start=ctx.coordinator, kind="qgram")
             branches.append(trace)
             for entry in entries:
                 posting = entry.value
@@ -379,9 +377,7 @@ class OidClusterScan(PhysicalOperator):
         for pattern in self.patterns:
             subject = pattern.subject
             if not isinstance(subject, Var) or subject.name != self.subject_variable:
-                raise PlanningError(
-                    "OidClusterScan patterns must share the subject variable"
-                )
+                raise PlanningError("OidClusterScan patterns must share the subject variable")
         key_range = KeyRange.subtree(INDEX_TAG[IndexKind.OID])
         groups, trace, complete = range_query_shower_groups(
             ctx.pnet, key_range, start=ctx.coordinator, rng=ctx.rng
@@ -423,9 +419,7 @@ class OidClusterScan(PhysicalOperator):
             partial = merged
             if not partial:
                 return []
-        return [
-            b for b in partial if all(satisfies(f, b) for f in self.filters)
-        ]
+        return [b for b in partial if all(satisfies(f, b) for f in self.filters)]
 
     def _label(self) -> str:
         star = " ".join(str(p) for p in self.patterns)

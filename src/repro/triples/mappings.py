@@ -107,9 +107,7 @@ class MappingCatalog:
             trace = trace.then(Trace.parallel(branches))
         return mappings, trace
 
-    def expansions(
-        self, attribute: str, min_confidence: float = 0.0
-    ) -> tuple[list[str], Trace]:
+    def expansions(self, attribute: str, min_confidence: float = 0.0) -> tuple[list[str], Trace]:
         """Attribute names equivalent to ``attribute`` (excluding itself)."""
         mappings, trace = self.equivalents(attribute, min_confidence)
         names: list[str] = []

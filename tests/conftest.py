@@ -12,9 +12,7 @@ from repro.pgrid import build_network
 @pytest.fixture(scope="session")
 def conference_store() -> UniStore:
     """A loaded 32-peer store shared by read-only end-to-end tests."""
-    store = UniStore.build(
-        num_peers=32, replication=2, seed=1234, enable_qgram_index=True
-    )
+    store = UniStore.build(num_peers=32, replication=2, seed=1234, enable_qgram_index=True)
     workload = ConferenceWorkload(
         num_authors=30, num_publications=60, num_conferences=12, seed=1234
     )
@@ -24,9 +22,7 @@ def conference_store() -> UniStore:
 
 @pytest.fixture(scope="session")
 def conference_workload() -> ConferenceWorkload:
-    return ConferenceWorkload(
-        num_authors=30, num_publications=60, num_conferences=12, seed=1234
-    )
+    return ConferenceWorkload(num_authors=30, num_publications=60, num_conferences=12, seed=1234)
 
 
 @pytest.fixture()

@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.algebra import (
     EdistConstraint,
-    Join,
     PatternScan,
     PrefixConstraint,
     RangeConstraint,
@@ -19,21 +18,18 @@ from repro.algebra import (
     evaluate,
     execute_reference,
     extract_constraints,
-    fuse_top_n,
     order_patterns,
-    push_down_filters,
     rewrite,
     satisfies,
     skyline_of,
     split_conjunctions,
 )
-from repro.algebra.operators import Difference, Intersection, LeftJoin, OrderBy, Limit, Projection, Union
+from repro.algebra.operators import Difference, Intersection, Limit, Projection, Union
 from repro.algebra.semantics import dominates, match_pattern, order_sort_key
 from repro.errors import PlanningError
 from repro.triples import Triple
 from repro.vql import parse
 from repro.vql.ast import (
-    Comparison,
     FunctionCall,
     Literal,
     OrderItem,
@@ -42,12 +38,14 @@ from repro.vql.ast import (
     Var,
 )
 
+# fmt: off
 TRIPLES = [
     Triple("a1", "name", "Alice"), Triple("a1", "age", 30),
     Triple("a2", "name", "Bob"), Triple("a2", "age", 25),
     Triple("a3", "name", "Cara"), Triple("a3", "age", 40),
     Triple("a1", "city", "Berlin"), Triple("a2", "city", "Basel"),
 ]
+# fmt: on
 
 
 class TestExpressionEvaluation:
@@ -120,9 +118,7 @@ class TestConstraintExtraction:
         assert constraints == [EdistConstraint("s", "ICDE", 3)]
 
     def test_prefix_and_contains(self):
-        constraints = extract_constraints(
-            parse_filter("prefix(?s,'IC') AND contains(?s,'DE')")
-        )
+        constraints = extract_constraints(parse_filter("prefix(?s,'IC') AND contains(?s,'DE')"))
         assert PrefixConstraint("s", "IC") in constraints
         assert SubstringConstraint("s", "DE") in constraints
 
@@ -153,15 +149,11 @@ class TestPlanBuilder:
         assert isinstance(plan.child, Limit)
 
     def test_order_by_limit_becomes_topn_after_rewrite(self):
-        plan = rewrite(build_plan(
-            parse("SELECT ?n WHERE {(?a,'name',?n)} ORDER BY ?n LIMIT 3")
-        ))
+        plan = rewrite(build_plan(parse("SELECT ?n WHERE {(?a,'name',?n)} ORDER BY ?n LIMIT 3")))
         assert any(isinstance(node, TopN) for node in plan.walk())
 
     def test_skyline_node(self):
-        plan = build_plan(parse(
-            "SELECT ?a WHERE {(?x,'a',?a)} ORDER BY SKYLINE OF ?a MIN"
-        ))
+        plan = build_plan(parse("SELECT ?a WHERE {(?x,'a',?a)} ORDER BY SKYLINE OF ?a MIN"))
         assert any(isinstance(node, Skyline) for node in plan.walk())
 
     def test_union_node(self):
@@ -201,9 +193,7 @@ class TestPlanBuilder:
 
 class TestRewrites:
     def test_filter_pushdown_into_scan(self):
-        plan = rewrite(build_plan(
-            parse("SELECT ?n WHERE {(?a,'name',?n) FILTER ?n != 'Bob'}")
-        ))
+        plan = rewrite(build_plan(parse("SELECT ?n WHERE {(?a,'name',?n) FILTER ?n != 'Bob'}")))
         scans = [n for n in plan.walk() if isinstance(n, PatternScan)]
         assert scans[0].filters, "filter should sit inside the scan"
         assert not any(isinstance(n, Selection) for n in plan.walk())
@@ -244,7 +234,8 @@ class TestReferenceExecutor:
         ))
         rows = execute_reference(plan, TRIPLES)
         assert sorted((r["n"], r["c"]) for r in rows) == [
-            ("Alice", "Berlin"), ("Bob", "Basel"),
+            ("Alice", "Berlin"),
+            ("Bob", "Basel"),
         ]
 
     def test_filter(self):
@@ -277,7 +268,7 @@ class TestReferenceExecutor:
         assert sorted(names) == ["Alice", "Bob", "Cara"]
 
     def test_optional(self):
-        triples = TRIPLES + [Triple("a3", "name", "Cara")]  # Cara has no city
+        # Cara (a3) has a name but no city in TRIPLES.
         plan = build_plan(parse(
             "SELECT ?n, ?c WHERE {(?a,'name',?n) OPTIONAL {(?a,'city',?c)}}"
         ))

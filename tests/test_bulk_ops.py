@@ -114,9 +114,7 @@ class TestPointRouting:
         # Routed writes use the same point semantics as the oracle loader.
         pnet.insert(key, "bbb", item_id="routed", start=pnet.peers[-1])
         group = pnet.responsible_group(key)
-        assert group and all(
-            peer.store.get_entry(key, "routed") is not None for peer in group
-        )
+        assert group and all(peer.store.get_entry(key, "routed") is not None for peer in group)
 
 
 class TestByOids:
@@ -193,7 +191,5 @@ class TestReplicaConvergence:
 
         offline.recover()
         anti_entropy_round(pnet)
-        resurrected = [
-            peer for peer in group if peer.store.get_entry(key, "doomed") is not None
-        ]
+        resurrected = [peer for peer in group if peer.store.get_entry(key, "doomed") is not None]
         assert offline in resurrected

@@ -14,10 +14,7 @@ from repro.pgrid import KeyRange, encode_string
 def _words(count, seed):
     rng = random.Random(seed)
     return sorted(
-        {
-            "".join(rng.choice(string.ascii_lowercase) for _ in range(5))
-            for _ in range(count)
-        }
+        {"".join(rng.choice(string.ascii_lowercase) for _ in range(5)) for _ in range(count)}
     )
 
 
@@ -75,9 +72,7 @@ class TestRing:
     def test_replication_survives_primary_failure(self):
         ring = ChordRing(32, seed=5, replication=3)
         ring.put("precious", "data")
-        owner, _trace = ring.find_successor(
-            ring.random_online_node(), chord_hash("precious")
-        )
+        owner, _trace = ring.find_successor(ring.random_online_node(), chord_hash("precious"))
         owner.fail()
         value, _trace = ring.get("precious")
         assert value == "data"
@@ -107,9 +102,7 @@ class TestRangeIndex:
     def test_range_query_exact(self):
         _ring, index, words = self._build()
         expected = sorted(w for w in words if w.startswith("a"))
-        results, _trace, _visited = index.range_query(
-            KeyRange.subtree(encode_string("a"))
-        )
+        results, _trace, _visited = index.range_query(KeyRange.subtree(encode_string("a")))
         assert sorted(v for _k, _i, v in results) == expected
 
     def test_open_interval(self):

@@ -93,9 +93,7 @@ class TestExecutionModes:
         vql = conference_workload.query_mix()["topn"]
         mqp = conference_store.execute(vql, mode="mqp")
         reference = conference_store.execute(vql, mode="reference")
-        assert sorted(r["cnt"] for r in mqp.rows) == sorted(
-            r["cnt"] for r in reference.rows
-        )
+        assert sorted(r["cnt"] for r in mqp.rows) == sorted(r["cnt"] for r in reference.rows)
         full = conference_store.execute(
             "SELECT ?name,?cnt WHERE {(?a,'name',?name) (?a,'num_of_pubs',?cnt)}",
             mode="reference",
@@ -120,16 +118,12 @@ class TestExecutionModes:
         vql = conference_workload.query_mix()["join"]
         reference = conference_store.execute(vql, mode="reference")
         for strategy in ("ship", "index-nl", "rehash"):
-            result = conference_store.execute(
-                vql, config=PlannerConfig(join_strategy=strategy)
-            )
+            result = conference_store.execute(vql, config=PlannerConfig(join_strategy=strategy))
             assert _canonical(result.rows) == _canonical(reference.rows), strategy
 
     def test_range_algorithms_same_answers(self, conference_store, conference_workload):
         vql = conference_workload.query_mix()["range"]
-        shower = conference_store.execute(
-            vql, config=PlannerConfig(range_algorithm="shower")
-        )
+        shower = conference_store.execute(vql, config=PlannerConfig(range_algorithm="shower"))
         sequential = conference_store.execute(
             vql, config=PlannerConfig(range_algorithm="sequential")
         )
@@ -178,9 +172,7 @@ class TestMappingExpansion:
         store.insert_tuple({"ilm:papertitle": "Y"})
         store.add_mapping("dblp:title", "ilm:papertitle")
         plain = store.execute("SELECT ?t WHERE {(?p,'dblp:title',?t)}")
-        expanded = store.execute(
-            "SELECT ?t WHERE {(?p,'dblp:title',?t)}", expand_mappings=True
-        )
+        expanded = store.execute("SELECT ?t WHERE {(?p,'dblp:title',?t)}", expand_mappings=True)
         assert sorted(r["t"] for r in plain.rows) == ["X"]
         assert sorted(r["t"] for r in expanded.rows) == ["X", "Y"]
 
@@ -188,9 +180,7 @@ class TestMappingExpansion:
         store = UniStore.build(num_peers=16, seed=8)
         store.insert_tuple({"a:x": 1})
         store.add_mapping("a:x", "b:y")
-        result = store.execute(
-            "SELECT ?v WHERE {(?p,'a:x',?v)}", expand_mappings=True
-        )
+        result = store.execute("SELECT ?v WHERE {(?p,'a:x',?v)}", expand_mappings=True)
         plain = store.execute("SELECT ?v WHERE {(?p,'a:x',?v)}")
         assert result.messages > plain.messages  # catalog lookups are real
 
@@ -204,9 +194,7 @@ class TestChurnResilience:
         workload.load_into(store)
         churn = ChurnModel(store.pnet.peers, seed=9)
         churn.fail_fraction(0.15)
-        result = store.execute(
-            "SELECT ?n WHERE {(?a,'name',?n)}"
-        )
+        result = store.execute("SELECT ?n WHERE {(?a,'name',?n)}")
         # With r=4 and 15% failures, the attribute scan should still be complete.
         assert result.complete
         assert len(result.rows) == 20
@@ -247,9 +235,6 @@ class TestResultPresentation:
         # A lucky coordinator may hold the whole (colocated) attribute and
         # answer for free; across several random coordinators the scan must
         # cost real messages.
-        results = [
-            conference_store.execute("SELECT ?n WHERE {(?a,'name',?n)}")
-            for _ in range(5)
-        ]
+        results = [conference_store.execute("SELECT ?n WHERE {(?a,'name',?n)}") for _ in range(5)]
         assert max(r.answer_time for r in results) > 0
         assert max(r.messages for r in results) > 0

@@ -6,9 +6,7 @@ import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
-)
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
@@ -25,5 +23,10 @@ def test_example_runs(script):
 
 def test_examples_exist():
     names = {p.name for p in EXAMPLES}
-    assert {"quickstart.py", "conference_browser.py",
-            "heterogeneous_integration.py", "planetlab_demo.py"} <= names
+    expected = {
+        "quickstart.py",
+        "conference_browser.py",
+        "heterogeneous_integration.py",
+        "planetlab_demo.py",
+    }
+    assert expected <= names

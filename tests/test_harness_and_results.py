@@ -1,6 +1,5 @@
 """Utility modules: bench harness statistics, result presentation, messages."""
 
-import math
 
 import pytest
 from hypothesis import given

@@ -28,9 +28,7 @@ from repro.vql.ast import (
 def env():
     pnet = build_network(32, replication=2, seed=88, split_by="population")
     store = DistributedTripleStore(pnet, enable_qgram_index=True)
-    workload = ConferenceWorkload(
-        num_authors=20, num_publications=40, num_conferences=8, seed=88
-    )
+    workload = ConferenceWorkload(num_authors=20, num_publications=40, num_conferences=8, seed=88)
     triples = workload.all_triples()
     store.bulk_insert(triples)
     ctx = ExecutionContext(store, pnet.peers[0], random.Random(88))
@@ -106,9 +104,7 @@ class TestAdaptiveChoice:
         _ctx, _triples, model = env
         scans = [PatternScan(TriplePattern(Var("a"), Literal("age"), Var("g")))]
         few = choose_next_step(scans, [{"a": "x"}], model)
-        many = choose_next_step(
-            scans, [{"a": f"p{i}"} for i in range(50)], model
-        )
+        many = choose_next_step(scans, [{"a": f"p{i}"} for i in range(50)], model)
         assert few.estimated_cost < many.estimated_cost
 
 
@@ -126,9 +122,7 @@ class TestMQPExecution:
         return result, expected
 
     def test_two_pattern_join(self, env):
-        result, expected = self._run(
-            env, "SELECT * WHERE {(?a,'name',?n) (?a,'age',?g)}"
-        )
+        result, expected = self._run(env, "SELECT * WHERE {(?a,'name',?n) (?a,'age',?g)}")
         # MQP returns full bindings; project to the reference's variables.
         names = {"a", "n", "g"}
         got = [{k: v for k, v in row.items() if k in names} for row in result.bindings]
@@ -150,9 +144,7 @@ class TestMQPExecution:
         assert _canonical(result.bindings) == _canonical(expected)
 
     def test_steps_are_logged(self, env):
-        result, _expected = self._run(
-            env, "SELECT * WHERE {(?a,'name',?n) (?a,'age',?g)}"
-        )
+        result, _expected = self._run(env, "SELECT * WHERE {(?a,'name',?n) (?a,'age',?g)}")
         assert len(result.steps) == 2
         assert any("probe" in step for step in result.steps)
 
@@ -191,9 +183,7 @@ class TestProbeOidCoercion:
         store = DistributedTripleStore(pnet)
         # A tuple whose OID is the *string* "42"; join values arriving as the
         # integer 42 must still probe (and bind) it.
-        store.bulk_insert(
-            [Triple("42", "name", "answer-tuple"), Triple("q:1", "answer", 42)]
-        )
+        store.bulk_insert([Triple("42", "name", "answer-tuple"), Triple("q:1", "answer", 42)])
         # Probe from a peer that must actually route to the OID posting.
         holder = next(p for p in pnet.peers if not responsible(p.path, oid_key("42")))
         ctx = ExecutionContext(store, holder, random.Random(77))

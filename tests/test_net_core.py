@@ -48,9 +48,7 @@ class TestTrace:
 
     @given(
         st.lists(
-            st.tuples(
-                st.integers(0, 5), st.integers(0, 5), st.floats(0, 1, allow_nan=False)
-            ),
+            st.tuples(st.integers(0, 5), st.integers(0, 5), st.floats(0, 1, allow_nan=False)),
             min_size=1,
             max_size=5,
         )
@@ -245,8 +243,7 @@ class TestChurn:
         model = ChurnModel(nodes, seed=4)
         rng = random.Random(4)
         events = generate_session_trace(
-            [n.node_id for n in nodes], horizon=50.0,
-            mean_session=5.0, mean_downtime=5.0, rng=rng,
+            [n.node_id for n in nodes], horizon=50.0, mean_session=5.0, mean_downtime=5.0, rng=rng
         )
         sim = EventSimulator()
         model.apply_trace(sim, events)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.algebra import build_plan, rewrite
-from repro.algebra.operators import PatternScan
 from repro.bench import ConferenceWorkload
 from repro.errors import PlanningError
 from repro.optimizer import CatalogStatistics, Cost, CostModel, Planner, PlannerConfig
@@ -21,7 +20,7 @@ from repro.physical import (
     ShipJoin,
     VLookupScan,
 )
-from repro.triples import DistributedTripleStore, Triple
+from repro.triples import DistributedTripleStore
 from repro.vql import parse
 from repro.vql.ast import Literal, TriplePattern, Var
 
@@ -30,9 +29,7 @@ from repro.vql.ast import Literal, TriplePattern, Var
 def stats_env():
     pnet = build_network(32, replication=2, seed=55, split_by="population")
     store = DistributedTripleStore(pnet, enable_qgram_index=True)
-    workload = ConferenceWorkload(
-        num_authors=30, num_publications=60, num_conferences=12, seed=55
-    )
+    workload = ConferenceWorkload(num_authors=30, num_publications=60, num_conferences=12, seed=55)
     store.bulk_insert(workload.all_triples())
     stats = CatalogStatistics.from_store(store)
     return store, stats
@@ -142,9 +139,7 @@ class TestScanSelection:
         assert self._find(plan, AvLookupScan)
 
     def test_equality_filter_becomes_point_range(self, stats_env):
-        plan = self._scan_for(
-            stats_env, "SELECT ?s WHERE {(?s,'age',?v) FILTER ?v = 30}"
-        )
+        plan = self._scan_for(stats_env, "SELECT ?s WHERE {(?s,'age',?v) FILTER ?v = 30}")
         scan = self._find(plan, AvRangeScan)
         assert scan is not None and scan.low == 30 and scan.high == 30
 
@@ -190,9 +185,7 @@ class TestScanSelection:
 
 
 class TestJoinSelection:
-    JOIN_QUERY = (
-        "SELECT ?n WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g = 30}"
-    )
+    JOIN_QUERY = ("SELECT ?n WHERE {(?a,'name',?n) (?a,'age',?g) FILTER ?g = 30}")
 
     def test_forced_strategies_apply(self, stats_env):
         store, stats = stats_env

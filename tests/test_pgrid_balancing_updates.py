@@ -1,6 +1,5 @@
 """Load balancing (ref. [2]) and loosely-consistent updates (ref. [4])."""
 
-import random
 
 import pytest
 
@@ -198,9 +197,7 @@ class TestJoinAndMerge:
         _load_words(pnet, [f"w{i}" for i in range(40)])
         newcomer, trace = join_peer(pnet, "latecomer")
         assert newcomer.path  # adopted a real position
-        host_group = [
-            p for p in pnet.peers if p.path == newcomer.path and p is not newcomer
-        ]
+        host_group = [p for p in pnet.peers if p.path == newcomer.path and p is not newcomer]
         assert host_group
         assert newcomer.load == host_group[0].load
         assert trace.messages > 0

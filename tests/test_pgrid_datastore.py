@@ -114,7 +114,5 @@ class TestScan:
             store.put(Entry(key=key, item_id=f"i{index}", value=key, version=0))
         key_range = KeyRange(lo, hi if key_fraction(hi) > key_fraction(lo) else None)
         got = sorted((e.key, e.item_id) for e in store.scan(key_range))
-        expected = sorted(
-            (e.key, e.item_id) for e in store if key_range.contains(e.key)
-        )
+        expected = sorted((e.key, e.item_id) for e in store if key_range.contains(e.key))
         assert got == expected

@@ -1,6 +1,5 @@
 """The order/prefix-preserving hash — P-Grid's key enabling property."""
 
-import math
 
 import pytest
 from hypothesis import given
@@ -15,9 +14,7 @@ from repro.pgrid.hashing import (
 )
 from repro.pgrid.keys import compare_keys, key_fraction
 
-SAFE_TEXT = st.text(
-    alphabet=st.characters(min_codepoint=3, max_codepoint=126), max_size=10
-)
+SAFE_TEXT = st.text(alphabet=st.characters(min_codepoint=3, max_codepoint=126), max_size=10)
 NUMBERS = st.one_of(
     st.integers(min_value=-(2**40), max_value=2**40),
     st.floats(allow_nan=False, allow_infinity=False, width=32),

@@ -60,9 +60,7 @@ class TestComparison:
 
     @given(BITS, BITS)
     def test_compare_agrees_with_fractions(self, a, b):
-        by_fraction = (key_fraction(a) > key_fraction(b)) - (
-            key_fraction(a) < key_fraction(b)
-        )
+        by_fraction = (key_fraction(a) > key_fraction(b)) - (key_fraction(a) < key_fraction(b))
         assert compare_keys(a, b) == by_fraction
 
 

@@ -17,7 +17,6 @@ from repro.pgrid import (
     encode_string,
     is_complete_partition,
     route,
-    wire_routing_tables,
 )
 from repro.pgrid.peer import RoutingTable
 

@@ -32,9 +32,7 @@ WORDS = st.lists(
     unique=True,
 )
 
-SLOW = settings(
-    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
-)
+SLOW = settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 
 
 @given(
@@ -47,9 +45,7 @@ SLOW = settings(
 def test_every_key_retrievable_from_every_start(num_peers, replication, words, seed):
     replication = min(replication, num_peers)
     keys = [encode_string(w) for w in words]
-    pnet = build_network(
-        num_peers, data_keys=keys, replication=replication, seed=seed
-    )
+    pnet = build_network(num_peers, data_keys=keys, replication=replication, seed=seed)
     assert pnet.is_complete()
     bulk_load(pnet, [(k, w, w) for k, w in zip(keys, words)])
     rng = random.Random(seed)

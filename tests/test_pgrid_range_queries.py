@@ -24,10 +24,7 @@ from repro.pgrid.range_query import (
 def _loaded_network(num_peers=32, num_words=200, seed=7, replication=2):
     rng = random.Random(seed)
     words = sorted(
-        {
-            "".join(rng.choice(string.ascii_lowercase) for _ in range(5))
-            for _ in range(num_words)
-        }
+        {"".join(rng.choice(string.ascii_lowercase) for _ in range(5)) for _ in range(num_words)}
     )
     keys = [encode_string(w) for w in words]
     pnet = build_network(num_peers, data_keys=keys, replication=replication, seed=seed)
@@ -44,17 +41,13 @@ class TestShower:
     def test_prefix_subtree(self, loaded):
         pnet, words = loaded
         expected = sorted(w for w in words if w.startswith("a"))
-        entries, _trace, complete = range_query_shower(
-            pnet, KeyRange.subtree(encode_string("a"))
-        )
+        entries, _trace, complete = range_query_shower(pnet, KeyRange.subtree(encode_string("a")))
         assert complete
         assert sorted(e.value for e in entries) == expected
 
     def test_no_duplicates_despite_replication(self, loaded):
         pnet, words = loaded
-        entries, _trace, _complete = range_query_shower(
-            pnet, KeyRange.subtree(encode_string("b"))
-        )
+        entries, _trace, _complete = range_query_shower(pnet, KeyRange.subtree(encode_string("b")))
         values = [e.value for e in entries]
         assert len(values) == len(set(values))
 
@@ -67,9 +60,7 @@ class TestShower:
     def test_empty_range(self, loaded):
         pnet, _words = loaded
         # Digits sort below letters; no word matches.
-        entries, _trace, complete = range_query_shower(
-            pnet, KeyRange.subtree(encode_string("3"))
-        )
+        entries, _trace, complete = range_query_shower(pnet, KeyRange.subtree(encode_string("3")))
         assert complete and entries == []
 
     def test_interval_between_words(self, loaded):
@@ -101,9 +92,7 @@ class TestSequential:
         key_range = KeyRange(encode_string("c"), encode_string("g"))
         shower_entries, _t1, _c1 = range_query_shower(pnet, key_range)
         seq_entries, _t2, _c2 = range_query_sequential(pnet, key_range)
-        assert sorted(e.value for e in seq_entries) == sorted(
-            e.value for e in shower_entries
-        )
+        assert sorted(e.value for e in seq_entries) == sorted(e.value for e in shower_entries)
 
     def test_latency_worse_than_shower_for_wide_ranges(self, loaded):
         pnet, _words = loaded

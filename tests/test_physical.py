@@ -6,7 +6,6 @@ import random
 import pytest
 
 from repro.algebra import build_plan, execute_reference, rewrite
-from repro.algebra.operators import PatternScan as LogicalScan
 from repro.bench import ConferenceWorkload
 from repro.errors import PlanningError
 from repro.physical import (
@@ -39,9 +38,7 @@ def env():
     """A loaded distributed store + its ground-truth triples + a context."""
     pnet = build_network(32, replication=2, seed=77, split_by="population")
     store = DistributedTripleStore(pnet, enable_qgram_index=True)
-    workload = ConferenceWorkload(
-        num_authors=25, num_publications=50, num_conferences=10, seed=77
-    )
+    workload = ConferenceWorkload(num_authors=25, num_publications=50, num_conferences=10, seed=77)
     triples = workload.all_triples()
     store.bulk_insert(triples)
     ctx = ExecutionContext(
@@ -71,9 +68,7 @@ class TestScans:
         some_oid = triples[0].oid
         pattern = TriplePattern(Literal(some_oid), Var("p"), Var("o"))
         result = OidLookupScan(pattern).execute(ctx)
-        expected = [
-            {"p": t.attribute, "o": t.value} for t in triples if t.oid == some_oid
-        ]
+        expected = [{"p": t.attribute, "o": t.value} for t in triples if t.oid == some_oid]
         assert rows_of(result) == _canonical(expected)
 
     def test_av_lookup(self, env):
@@ -81,9 +76,7 @@ class TestScans:
         year = next(t.value for t in triples if t.attribute == "year")
         pattern = TriplePattern(Var("s"), Literal("year"), Literal(year))
         result = AvLookupScan(pattern).execute(ctx)
-        expected = [
-            {"s": t.oid} for t in triples if t.attribute == "year" and t.value == year
-        ]
+        expected = [{"s": t.oid} for t in triples if t.attribute == "year" and t.value == year]
         assert rows_of(result) == _canonical(expected)
 
     def test_av_range(self, env):
@@ -119,9 +112,7 @@ class TestScans:
         store, triples, ctx = env
         pattern = TriplePattern(Var("s"), Literal("series"), Var("v"))
         result = AttributeScan(pattern).execute(ctx)
-        expected = [
-            {"s": t.oid, "v": t.value} for t in triples if t.attribute == "series"
-        ]
+        expected = [{"s": t.oid, "v": t.value} for t in triples if t.attribute == "series"]
         assert rows_of(result) == _canonical(expected)
 
     def test_v_lookup(self, env):
@@ -129,9 +120,7 @@ class TestScans:
         value = next(t.value for t in triples if t.attribute == "series")
         pattern = TriplePattern(Var("s"), Var("p"), Literal(value))
         result = VLookupScan(pattern).execute(ctx)
-        expected = [
-            {"s": t.oid, "p": t.attribute} for t in triples if t.value == value
-        ]
+        expected = [{"s": t.oid, "p": t.attribute} for t in triples if t.value == value]
         assert rows_of(result) == _canonical(expected)
 
     def test_broadcast_scan_returns_everything(self, env):
@@ -174,9 +163,7 @@ class TestScans:
         pattern = TriplePattern(Var("s"), Literal("series"), Var("v"))
         # k too large for the string length: the count filter is vacuous.
         result = QGramScan(pattern, text="IC", max_distance=5).execute(ctx)
-        expected = [
-            {"s": t.oid, "v": t.value} for t in triples if t.attribute == "series"
-        ]
+        expected = [{"s": t.oid, "v": t.value} for t in triples if t.attribute == "series"]
         assert result.total_rows() == len(expected)
 
     def test_scan_requires_correct_literals(self, env):
@@ -232,9 +219,7 @@ class TestJoinStrategies:
         result = IndexNestedLoopJoin(
             left, AttributeScan(right_pattern), right_pattern=right_pattern
         ).execute(ctx)
-        expected = reference_rows(
-            "SELECT * WHERE {(?a,'name',?n) (?a,'age',?g)}", triples
-        )
+        expected = reference_rows("SELECT * WHERE {(?a,'name',?n) (?a,'age',?g)}", triples)
         assert rows_of(result) == expected
 
     def test_oid_probe_coerces_non_string_join_values(self):
@@ -242,9 +227,7 @@ class TestJoinStrategies:
         (must behave like the MQP probe-oid coercion)."""
         pnet = build_network(16, replication=2, seed=78, split_by="population")
         store = DistributedTripleStore(pnet)
-        store.bulk_insert(
-            [Triple("42", "name", "answer-tuple"), Triple("q:1", "answer", 42)]
-        )
+        store.bulk_insert([Triple("42", "name", "answer-tuple"), Triple("q:1", "answer", 42)])
         ctx = ExecutionContext(store, pnet.peers[0], random.Random(78))
         left = AttributeScan(TriplePattern(Var("q"), Literal("answer"), Var("x")))
         right_pattern = TriplePattern(Var("x"), Literal("name"), Var("n"))
@@ -265,9 +248,7 @@ class TestJoinStrategies:
 class TestSimilarityJoins:
     def test_naive_and_qgram_agree(self, env):
         _store, triples, ctx = env
-        left = AttributeScan(
-            TriplePattern(Var("p"), Literal("published_in"), Var("c"))
-        )
+        left = AttributeScan(TriplePattern(Var("p"), Literal("published_in"), Var("c")))
         right_pattern = TriplePattern(Var("k"), Literal("confname"), Var("cn"))
         naive = NaiveSimilarityJoin(
             left, AttributeScan(right_pattern), Var("c"), Var("cn"), 1
@@ -290,9 +271,7 @@ class TestRanking:
         items = (OrderItem(Var("v"), descending=True),)
         pruned = TopNOp(child, items, n=5, prune=True).execute(ctx)
         naive = TopNOp(child, items, n=5, prune=False).execute(ctx)
-        assert [r["v"] for r in pruned.all_bindings()] == [
-            r["v"] for r in naive.all_bindings()
-        ]
+        assert [r["v"] for r in pruned.all_bindings()] == [r["v"] for r in naive.all_bindings()]
 
     def test_topn_prune_ships_fewer_bytes(self, env):
         store, _triples, ctx = env
@@ -308,14 +287,10 @@ class TestRanking:
 
     def test_skyline_prune_equals_naive(self, env):
         _store, triples, ctx = env
-        plan_text = (
-            "SELECT * WHERE {(?a,'age',?g) (?a,'num_of_pubs',?n)}"
-        )
         base_left = AttributeScan(TriplePattern(Var("a"), Literal("age"), Var("g")))
         base_right_pattern = TriplePattern(Var("a"), Literal("num_of_pubs"), Var("n"))
         child = IndexNestedLoopJoin(
-            base_left, AttributeScan(base_right_pattern),
-            right_pattern=base_right_pattern,
+            base_left, AttributeScan(base_right_pattern), right_pattern=base_right_pattern
         )
         items = (SkylineItem(Var("g"), maximize=False), SkylineItem(Var("n"), maximize=True))
         pruned = SkylineOp(child, items, prune=True).execute(ctx)

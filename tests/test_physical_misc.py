@@ -29,6 +29,7 @@ from repro.vql.ast import Literal, OrderItem, TriplePattern, Var
 @pytest.fixture(scope="module")
 def env():
     # OIDs with spread first characters so they hash to different trie leaves.
+    # fmt: off
     triples = [
         Triple("a-p1", "name", "Alice"), Triple("a-p1", "age", 30),
         Triple("a-p1", "city", "Berlin"),
@@ -38,6 +39,7 @@ def env():
         # multi-valued attribute on a-p1
         Triple("a-p1", "likes", "tea"), Triple("a-p1", "likes", "coffee"),
     ]
+    # fmt: on
     # Shape the trie by the actual posting keys (P-Grid's balanced steady
     # state) so the tiny dataset still spans several leaves.
     from repro.triples import av_key, oid_key, v_key
@@ -113,23 +115,17 @@ class TestSetOperators:
     def test_union_pools_groups(self, env):
         _store, ctx = env
         result = UnionOp((scan("name"), scan("city", var="n"))).execute(ctx)
-        assert _names(result) == sorted(
-            ["Alice", "Bob", "Cara", "Berlin", "Basel"]
-        )
+        assert _names(result) == sorted(["Alice", "Bob", "Cara", "Berlin", "Basel"])
 
     def test_intersection_on_shared_variables(self, env):
         _store, ctx = env
-        result = IntersectionOp(
-            (scan("name", var="x"), scan("city", var="y"))
-        ).execute(ctx)
+        result = IntersectionOp((scan("name", var="x"), scan("city", var="y"))).execute(ctx)
         # shared variable is ?a: people having both name and city
         assert sorted(r["a"] for r in result.all_bindings()) == ["a-p1", "z-p3"]
 
     def test_intersection_empty_input(self, env):
         _store, ctx = env
-        result = IntersectionOp(
-            (scan("name"), scan("nonexistent"))
-        ).execute(ctx)
+        result = IntersectionOp((scan("name"), scan("nonexistent"))).execute(ctx)
         assert result.all_bindings() == []
 
     def test_difference(self, env):
@@ -236,12 +232,8 @@ class TestPlannerStarIntegration:
         )
         workload.load_into(store)
         name = workload.people[0]["name"]
-        vql = (
-            f"SELECT ?g WHERE {{(?a,'name',?n) (?a,'age',?g) FILTER ?n = '{name}'}}"
-        )
-        plan = store.explain(
-            vql, config=PlannerConfig(latency_weight=0.0, message_weight=1.0)
-        )
+        vql = (f"SELECT ?g WHERE {{(?a,'name',?n) (?a,'age',?g) FILTER ?n = '{name}'}}")
+        plan = store.explain(vql, config=PlannerConfig(latency_weight=0.0, message_weight=1.0))
         assert "OidClusterScan" not in plan.split("-- physical --")[1]
 
 

@@ -9,9 +9,7 @@ overlay.  Any divergence is a real bug in scans, joins, planning or ranking.
 
 from __future__ import annotations
 
-import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -24,12 +22,8 @@ SEED = 4242
 
 
 def _build_world():
-    store = UniStore.build(
-        num_peers=24, replication=2, seed=SEED, enable_qgram_index=True
-    )
-    workload = ConferenceWorkload(
-        num_authors=15, num_publications=30, num_conferences=8, seed=SEED
-    )
+    store = UniStore.build(num_peers=24, replication=2, seed=SEED, enable_qgram_index=True)
+    workload = ConferenceWorkload(num_authors=15, num_publications=30, num_conferences=8, seed=SEED)
     workload.load_into(store)
     triples = store._all_triples()
     return store, triples

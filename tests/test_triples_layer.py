@@ -3,10 +3,9 @@
 import pytest
 
 from repro.errors import StorageError
-from repro.pgrid import build_network, key_fraction
+from repro.pgrid import build_network
 from repro.triples import (
     DistributedTripleStore,
-    IndexKind,
     MappingCatalog,
     SchemaMapping,
     Triple,

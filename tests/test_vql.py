@@ -67,10 +67,12 @@ class TestLexer:
 
     def test_operators(self):
         tokens = tokenize("= != < <= > >= && ||")
+        # fmt: off
         assert [t.type for t in tokens[:-1]] == [
             TokenType.EQ, TokenType.NEQ, TokenType.LT, TokenType.LE,
             TokenType.GT, TokenType.GE, TokenType.AND, TokenType.OR,
         ]
+        # fmt: on
 
     def test_position_tracking(self):
         tokens = tokenize("SELECT\n  ?x")
@@ -127,9 +129,7 @@ class TestParser:
         assert len(query.groups[0].optionals) == 1
 
     def test_filter_boolean_operators(self):
-        query = parse(
-            "SELECT ?x WHERE {(?x,'a',?v) FILTER ?v > 1 AND ?v < 9 OR NOT ?v = 5}"
-        )
+        query = parse("SELECT ?x WHERE {(?x,'a',?v) FILTER ?v > 1 AND ?v < 9 OR NOT ?v = 5}")
         expr = query.groups[0].filters[0]
         assert isinstance(expr, BoolOp) and expr.op == "or"
         assert isinstance(expr.operands[1], Not)
