@@ -1,0 +1,214 @@
+"""E12 — latency under load: service times, queueing, and replica diffusion.
+
+PR 3 measured *overlap*; this experiment measures *contention*.  Every peer
+gets a service-time model and a FIFO work queue on the shared event kernel
+(:mod:`repro.load`), an open-loop Poisson driver offers an increasing load
+of Zipf-skewed lookups through one gateway, and the answer-time percentiles
+are plotted against the offered rate:
+
+* **E12a** — the latency-vs-offered-load curve has a visible knee where the
+  hottest peer's utilization approaches 1; enabling replica-based
+  query-load diffusion (reads spread over the responsible replica group)
+  moves the knee right — the same overlay sustains more load.
+* **E12b** — with diffusion on, the sustainable load scales with the
+  replication degree: thicker replica groups push the knee further right,
+  the load-diffusion-via-replication story of the paper's Section 2.
+* **E12c** — the identity check tying E12 back to PR 3: with all service
+  times at zero, event-driven execution with a load model attached is
+  *indistinguishable* from PR 3's scheduler — same messages, hops,
+  completion times and delivery log.
+
+Set ``UNISTORE_QUICK=1`` for the CI smoke configuration.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+from repro.bench import ResultTable
+from repro.load import LoadModel, OpenLoopDriver, ServiceProfile, ZERO_PROFILE, summarize
+from repro.net.latency import ConstantLatency
+from repro.pgrid import build_network, bulk_load, encode_string
+from repro.pgrid.load_balancing import query_load_imbalance
+from repro.pgrid.network import PGridNetwork
+
+from conftest import emit
+
+QUICK = bool(os.environ.get("UNISTORE_QUICK"))
+
+NUM_PEERS = 48
+NUM_KEYS = 64
+KEY_SKEW = 1.1  # Zipf s: the top key draws ~23% of the lookups
+HORIZON = 1.0 if QUICK else 2.0
+RATES = [100, 400, 1600] if QUICK else [100, 200, 400, 800, 1600]
+LINK_LATENCY = 0.01
+#: Per-kind service costs (seconds on a speed-1.0 peer): a lookup probe is
+#: real work, shipping the answer back is cheap.
+PROFILE = {"lookup": 0.004, "result": 0.0002}
+#: A rate is "sustainable" while its p95 stays under this multiple of the
+#: lightly-loaded baseline — past it, queueing dominates and the curve knees.
+KNEE_FACTOR = 4.0
+
+
+def _words(count: int, seed: int = 1203) -> list[str]:
+    rng = random.Random(seed)
+    alphabet = "abcdefghijklmnopqrstuvwxyz"
+    return sorted({"".join(rng.choice(alphabet) for _ in range(7)) for _ in range(count)})
+
+
+WORDS = _words(NUM_KEYS)
+ITEMS = [(encode_string(w), f"id-{w}", f"val-{w}") for w in WORDS]
+KEYS = [key for key, _id, _value in ITEMS]
+
+
+def _overlay(replication: int, seed: int) -> PGridNetwork:
+    pnet = build_network(
+        NUM_PEERS,
+        replication=replication,
+        seed=seed,
+        split_by="population",
+        latency_model=ConstantLatency(LINK_LATENCY),
+    )
+    bulk_load(pnet, ITEMS)
+    return pnet
+
+
+def _drive(replication: int, rate: float, diffusion: str, seed: int = 4812) -> dict:
+    """One offered-load point: fresh twin overlay, one gateway, Poisson lookups."""
+    pnet = _overlay(replication, seed)
+    model = LoadModel(ServiceProfile(PROFILE))
+    with pnet.event_driven(load=model):
+        driver = OpenLoopDriver(
+            pnet,
+            KEYS,
+            rate=rate,
+            horizon=HORIZON,
+            key_skew=KEY_SKEW,
+            gateways=[pnet.peers[0]],
+            diffusion=diffusion,
+            seed=seed,
+        )
+        records = driver.run()
+    stats = summarize(records)
+    utilization = model.utilization(HORIZON)
+    # The gateway is busy by construction (it absorbs every reply); the
+    # interesting bottleneck is the hottest *serving* peer.
+    gateway = pnet.peers[0].node_id
+    serving = [p.node_id for p in pnet.peers if p.node_id != gateway]
+    stats["hot_util"] = max(utilization.get(node, 0.0) for node in serving)
+    stats["imbalance"] = query_load_imbalance(model.busy_by_peer(), population=serving)
+    return stats
+
+
+def _sustainable(curve: dict[float, dict], baseline_p95: float) -> float:
+    """Highest offered rate whose p95 stays under the knee threshold."""
+    good = [rate for rate, stats in curve.items() if stats["p95"] <= KNEE_FACTOR * baseline_p95]
+    return max(good, default=0.0)
+
+
+def test_e12a_latency_vs_offered_load_knee_moves_with_diffusion(benchmark):
+    replication = 3
+    table = ResultTable(
+        "E12a: answer time vs offered load — hot-key lookups through one gateway "
+        f"({NUM_PEERS} peers, replication {replication}, Zipf s={KEY_SKEW})",
+        ["rate /s", "policy", "hot util", "mean s", "p95 s", "max/mean busy", "ok"],
+    )
+    curves: dict[str, dict[float, dict]] = {"none": {}, "random": {}}
+    for policy in ("none", "random"):
+        for rate in RATES:
+            stats = _drive(replication, rate, policy)
+            curves[policy][rate] = stats
+            table.add_row(
+                rate,
+                "pinned" if policy == "none" else "diffused",
+                stats["hot_util"],
+                stats["mean"],
+                stats["p95"],
+                stats["imbalance"]["max_over_mean"],
+                stats["ok"],
+            )
+    emit(table)
+
+    baseline = curves["none"][RATES[0]]["p95"]
+    # Lightly loaded, the two policies are equally fast (same hop counts).
+    assert curves["random"][RATES[0]]["p95"] < KNEE_FACTOR * baseline
+    # The pinned curve knees: its top rate is past saturation on the hot
+    # peer (utilization ~1) and the tail latency has left the flat region.
+    top = RATES[-1]
+    assert curves["none"][top]["hot_util"] > 0.9, "hot peer never saturated"
+    assert curves["none"][top]["p95"] > KNEE_FACTOR * baseline, "no visible knee"
+    # Diffusion spreads the same work over the replica group...
+    assert (
+        curves["random"][top]["imbalance"]["max_over_mean"]
+        < curves["none"][top]["imbalance"]["max_over_mean"]
+    )
+    # ...so the knee moves right: strictly more load is sustainable.
+    knee_pinned = _sustainable(curves["none"], baseline)
+    knee_diffused = _sustainable(curves["random"], baseline)
+    assert knee_diffused > knee_pinned, (
+        f"diffusion should raise the sustainable load (pinned {knee_pinned}/s, "
+        f"diffused {knee_diffused}/s)"
+    )
+
+    benchmark.pedantic(
+        lambda: _drive(replication, RATES[1], "random"), rounds=3 if not QUICK else 1, iterations=1
+    )
+
+
+def test_e12b_knee_scales_with_replication_degree():
+    degrees = [1, 4] if QUICK else [1, 2, 4]
+    rates = [200, 800, 3200] if QUICK else [200, 400, 800, 1600, 3200]
+    table = ResultTable(
+        "E12b: sustainable load vs replication degree (diffused reads, "
+        f"{NUM_PEERS} peers)",
+        ["replication", "rate /s", "hot util", "p95 s", "sustainable?"],
+    )
+    knees: dict[int, float] = {}
+    for degree in degrees:
+        curve: dict[float, dict] = {}
+        for rate in rates:
+            curve[rate] = _drive(degree, rate, "random", seed=9000 + degree)
+        baseline = curve[rates[0]]["p95"]
+        knees[degree] = _sustainable(curve, baseline)
+        for rate in rates:
+            table.add_row(
+                degree,
+                rate,
+                curve[rate]["hot_util"],
+                curve[rate]["p95"],
+                "yes" if curve[rate]["p95"] <= KNEE_FACTOR * baseline else "no",
+            )
+    emit(table)
+    assert knees[degrees[-1]] > knees[degrees[0]], (
+        f"thicker replica groups should sustain more load, got {knees}"
+    )
+
+
+def test_e12c_zero_service_times_reproduce_pr3_exactly():
+    """The load subsystem is strictly additive: at zero cost it vanishes."""
+
+    def run(load):
+        pnet = _overlay(replication=2, seed=777)
+        with pnet.event_driven(load=load) as sched:
+            results, trace = pnet.lookup_many(KEYS, start=pnet.peers[0])
+            insert_trace = pnet.insert_many(
+                [(encode_string(f"zip{i}"), f"zid{i}", i) for i in range(12)],
+                start=pnet.peers[1],
+            )
+        found = {k: {(e.item_id, e.value) for e in v} for k, v in results.items()}
+        return trace, insert_trace, list(sched.log), found
+
+    plain = run(load=None)
+    zeroed = run(load=LoadModel(ZERO_PROFILE))
+    assert plain[0] == zeroed[0]  # messages, hops, latency, completion_time
+    assert plain[1] == zeroed[1]
+    assert plain[2] == zeroed[2]  # the delivery log, instant for instant
+    assert plain[3] == zeroed[3]
+    table = ResultTable(
+        "E12c: zero-service identity — event mode with and without a load model",
+        ["model", "msgs", "hops", "completion s"],
+    )
+    table.add_row("PR 3 scheduler", plain[0].messages, plain[0].hops, plain[0].completion_time)
+    table.add_row("zero-cost load", zeroed[0].messages, zeroed[0].hops, zeroed[0].completion_time)
+    emit(table)

@@ -14,18 +14,26 @@ from repro.bench.workloads import (
     batched,
     ingest_tuples,
     inject_typo,
+    lookup_key_pool,
     make_name,
     make_title,
+    poisson_arrivals,
     skewed_strings,
+    zipf_cumulative,
+    zipf_rank,
     zipf_values,
 )
 
 __all__ = [
     "ConferenceWorkload",
     "zipf_values",
+    "zipf_cumulative",
+    "zipf_rank",
     "skewed_strings",
     "batched",
     "ingest_tuples",
+    "poisson_arrivals",
+    "lookup_key_pool",
     "inject_typo",
     "make_name",
     "make_title",

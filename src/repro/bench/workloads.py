@@ -46,11 +46,12 @@ _TITLE_WORDS = [
 # fmt: on
 
 
-def zipf_values(rng: random.Random, n_items: int, count: int, s: float) -> list[int]:
-    """``count`` samples from a Zipf(s) distribution over ``n_items`` ranks.
+def zipf_cumulative(n_items: int, s: float) -> list[float]:
+    """Normalized cumulative rank weights of a Zipf(s) distribution.
 
-    ``s == 0`` degenerates to uniform.  Implemented by inverse-CDF over the
-    normalized rank weights (exact, no rejection), deterministic per rng.
+    The shared inverse-CDF table behind :func:`zipf_values` and the
+    workload drivers' key popularity (:mod:`repro.load.drivers`).
+    ``s == 0`` degenerates to uniform.
     """
     if n_items < 1:
         raise ValueError("need at least one item")
@@ -61,18 +62,29 @@ def zipf_values(rng: random.Random, n_items: int, count: int, s: float) -> list[
     for weight in weights:
         acc += weight / total
         cumulative.append(acc)
-    samples = []
-    for _ in range(count):
-        u = rng.random()
-        lo, hi = 0, n_items - 1
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if cumulative[mid] < u:
-                lo = mid + 1
-            else:
-                hi = mid
-        samples.append(lo)
-    return samples
+    return cumulative
+
+
+def zipf_rank(cumulative: list[float], u: float) -> int:
+    """Rank index whose cumulative weight first reaches ``u`` (binary search)."""
+    lo, hi = 0, len(cumulative) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if cumulative[mid] < u:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def zipf_values(rng: random.Random, n_items: int, count: int, s: float) -> list[int]:
+    """``count`` samples from a Zipf(s) distribution over ``n_items`` ranks.
+
+    Implemented by inverse-CDF over the normalized rank weights (exact, no
+    rejection), deterministic per rng.
+    """
+    cumulative = zipf_cumulative(n_items, s)
+    return [zipf_rank(cumulative, rng.random()) for _ in range(count)]
 
 
 def skewed_strings(count: int, s: float, seed: int = 0, alphabet_size: int = 26) -> list[str]:
@@ -88,6 +100,47 @@ def skewed_strings(count: int, s: float, seed: int = 0, alphabet_size: int = 26)
         rest = "".join(chr(ord("a") + rng.randrange(26)) for _ in range(7))
         result.append(chr(ord("a") + first) + rest)
     return result
+
+
+def poisson_arrivals(rng: random.Random, rate: float, horizon: float) -> list[float]:
+    """Arrival instants of a Poisson process of ``rate``/s over ``horizon``.
+
+    The open-loop workload driver (:mod:`repro.load.drivers`) injects one
+    operation per instant; exponential inter-arrival gaps make the offered
+    load exact in expectation and bursty in the small, like real traffic.
+    """
+    if rate <= 0 or horizon <= 0:
+        raise ValueError("rate and horizon must be > 0")
+    arrivals: list[float] = []
+    t = rng.expovariate(rate)
+    while t < horizon:
+        arrivals.append(t)
+        t += rng.expovariate(rate)
+    return arrivals
+
+
+def lookup_key_pool(store, attributes: tuple[str, ...] = ("published_in", "title")) -> list[str]:
+    """Routable A#v posting keys of a loaded domain, hottest attributes first.
+
+    Extracts the DHT keys the query mix actually probes (the A#v index keys
+    of ``attributes``), so a workload driver can replay the *storage-level*
+    footprint of the conference queries as concurrent point lookups.  The
+    returned keys are sorted by descending posting count — rank 0 is the
+    most popular value, ready for Zipf-ranked sampling.
+    """
+    from repro.triples.index import IndexKind, av_key
+
+    counts: dict[str, int] = {}
+    for entry in store.pnet.all_entries():
+        posting = entry.value
+        kind = getattr(posting, "kind", None)
+        if kind is not IndexKind.AV:
+            continue
+        triple = posting.triple
+        if triple.attribute in attributes:
+            key = av_key(triple.attribute, triple.value)
+            counts[key] = counts.get(key, 0) + 1
+    return sorted(counts, key=lambda key: (-counts[key], key))
 
 
 def ingest_tuples(count: int, seed: int = 0) -> list[dict[str, Value]]:

@@ -194,7 +194,7 @@ class UniStore:
 
     # -- execution model ---------------------------------------------------------
 
-    def event_driven(self, simulator=None):
+    def event_driven(self, simulator=None, load=None):
         """Scope event-driven (simulated-time) execution for this store.
 
         Inside the ``with`` block every routed operation — query fan-outs,
@@ -206,8 +206,27 @@ class UniStore:
             with store.event_driven() as sched:
                 result = store.execute(vql)
             result.trace.completion_time  # absolute instant on sched's clock
+
+        ``load`` attaches a :class:`~repro.load.model.LoadModel`: peers get
+        per-message-kind service times and FIFO work queues, so answer times
+        include queueing delay at hot peers (latency = link + queue +
+        service) and per-peer utilization shows up in
+        ``sched.load.snapshot()`` and the stats frames.
         """
-        return self.pnet.event_driven(simulator=simulator)
+        return self.pnet.event_driven(simulator=simulator, load=load)
+
+    @property
+    def replica_diffusion(self) -> str:
+        """Read-diffusion policy over replica groups ("none"/"random"/"least-busy")."""
+        return self.pnet.replica_diffusion
+
+    @replica_diffusion.setter
+    def replica_diffusion(self, policy: str) -> None:
+        from repro.load.diffusion import POLICIES
+
+        if policy not in POLICIES:
+            raise ValueError(f"unknown diffusion policy {policy!r} (use one of {POLICIES})")
+        self.pnet.replica_diffusion = policy
 
     # -- querying ----------------------------------------------------------------------
 

@@ -1,0 +1,50 @@
+"""Peer load subsystem: service times, queueing, and load-aware execution.
+
+Layers a per-peer workload model over the event kernel of
+:mod:`repro.net.scheduler`:
+
+* :mod:`repro.load.model` — service-time profiles, heterogeneous speed
+  factors, FIFO node queues (:class:`LoadModel` is what you attach to the
+  scheduler: ``pnet.event_driven(load=model)``);
+* :mod:`repro.load.drivers` — open-loop (Poisson) and closed-loop workload
+  drivers that keep many operations in flight on one shared clock;
+* :mod:`repro.load.diffusion` — replica-based query-load diffusion, the
+  first load-aware behaviour (benchmark E12 measures its knee shift).
+"""
+
+from repro.load.diffusion import POLICIES, choose_replica, diffuse_route, replica_set
+from repro.load.drivers import (
+    MAX_REROUTES,
+    ClosedLoopDriver,
+    OpenLoopDriver,
+    OpRecord,
+    completed_latencies,
+    summarize,
+)
+from repro.load.model import (
+    ZERO_PROFILE,
+    LoadModel,
+    NodeQueue,
+    ServiceProfile,
+    ServiceSample,
+    draw_speed_factors,
+)
+
+__all__ = [
+    "LoadModel",
+    "NodeQueue",
+    "ServiceProfile",
+    "ServiceSample",
+    "ZERO_PROFILE",
+    "draw_speed_factors",
+    "OpenLoopDriver",
+    "ClosedLoopDriver",
+    "OpRecord",
+    "completed_latencies",
+    "summarize",
+    "MAX_REROUTES",
+    "POLICIES",
+    "choose_replica",
+    "diffuse_route",
+    "replica_set",
+]

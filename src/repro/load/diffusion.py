@@ -1,0 +1,81 @@
+"""Replica-based query-load diffusion.
+
+P-Grid's structural replication means every member of a replica group can
+answer reads for the group's path.  Routing alone does not exploit that:
+the route cache pins each requester to the first member it reached, so a
+hot key hammers one peer while its replicas idle.  Diffusion re-spreads
+that query load *at the last hop*: once routing has discovered the
+responsible group, the final hop is redirected to a chosen member —
+uniformly at random (classic load spreading) or to the member with the
+smallest queue backlog (requires an attached
+:class:`~repro.load.model.LoadModel`; models replicas sharing queue-depth
+hints).
+
+The hop count is unchanged — only the *target* of the existing last hop
+moves — so diffusion trades no extra latency for its balancing, and with
+``policy="none"`` the rewrite is the identity.  Benchmark E12 measures the
+effect: the latency-vs-offered-load knee moves right with the replica
+degree once diffusion is on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.load.model import LoadModel
+    from repro.pgrid.peer import PGridPeer
+
+#: Recognized diffusion policies.
+POLICIES = ("none", "random", "least-busy")
+
+
+def replica_set(destination: "PGridPeer") -> list["PGridPeer"]:
+    """The destination plus its online replicas, sorted for determinism."""
+    from repro.pgrid.replication import online_group  # deferred: pgrid imports load
+
+    return online_group(destination)
+
+
+def choose_replica(
+    destination: "PGridPeer",
+    policy: str = "none",
+    rng: random.Random | None = None,
+    load: "LoadModel | None" = None,
+    now: float = 0.0,
+) -> "PGridPeer":
+    """Pick the replica-group member that should serve this read."""
+    if policy not in POLICIES:
+        raise ValueError(f"unknown diffusion policy {policy!r} (use one of {POLICIES})")
+    if policy == "none":
+        return destination
+    members = replica_set(destination)
+    if len(members) == 1:
+        return destination
+    if policy == "least-busy" and load is not None:
+        return min(members, key=lambda p: (load.backlog(p.node_id, now), p.node_id))
+    # "random", or "least-busy" with no load information to act on.
+    return (rng or random.Random()).choice(members)
+
+
+def diffuse_route(
+    destination: "PGridPeer",
+    hops: list[tuple[str, str]],
+    policy: str = "none",
+    rng: random.Random | None = None,
+    load: "LoadModel | None" = None,
+    now: float = 0.0,
+) -> tuple["PGridPeer", list[tuple[str, str]]]:
+    """Rewrite a discovered route's last hop to the chosen group member.
+
+    With no hops the requester is itself a member of the responsible group
+    and serves the read locally for free — diffusing away would *add* a hop,
+    so the route is returned unchanged.
+    """
+    if policy == "none" or not hops:
+        return destination, hops
+    target = choose_replica(destination, policy=policy, rng=rng, load=load, now=now)
+    if target is destination:
+        return destination, hops
+    return target, hops[:-1] + [(hops[-1][0], target.node_id)]

@@ -1,0 +1,431 @@
+"""Concurrent workload drivers: many in-flight operations, one shared clock.
+
+The data operations on :class:`~repro.pgrid.network.PGridNetwork` drain the
+event heap before returning, so back-to-back calls compose *sequentially* in
+simulated time.  To study load they must overlap: a driver schedules every
+operation's launch as a simulator event and only drains once, so hundreds of
+routed lookups/inserts are in flight together, contending for the same peer
+queues.
+
+Two arrival processes:
+
+* :class:`OpenLoopDriver` — Poisson arrivals at a fixed *offered* rate over a
+  horizon (open loop: arrivals do not wait for completions, so a saturated
+  peer builds a real backlog — the latency knee of benchmark E12);
+* :class:`ClosedLoopDriver` — a population of clients that each issue, wait
+  for the answer, think, and repeat (closed loop: load self-limits, the
+  classic interactive-user model).
+
+Operations route as they launch (hop discovery uses the overlay state *at
+launch time*), pick keys Zipf-skewed so popular keys create hot regions, and
+optionally spread reads over replica groups
+(:func:`~repro.load.diffusion.diffuse_route`).  Churn composes: a
+:class:`~repro.net.churn.ChurnModel` session trace can be replayed on the
+same simulator (``run(churn_trace=...)``), and every hop re-validates
+liveness at delivery time — an operation that lands on a peer that died
+mid-flight re-routes from its previous hop (bounded retries), so no
+in-flight operation is ever silently lost: every :class:`OpRecord` ends
+completed or failed, deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.bench.harness import mean, percentile
+from repro.bench.workloads import poisson_arrivals, zipf_cumulative, zipf_rank
+from repro.errors import RoutingError
+from repro.load.diffusion import diffuse_route
+from repro.net.churn import ChurnEvent, ChurnModel
+from repro.pgrid.datastore import Entry
+from repro.pgrid.network import PGridNetwork
+from repro.pgrid.peer import PGridPeer
+from repro.pgrid.routing import point_key, route_hops
+
+#: A flapping overlay could re-route an operation forever; bound it.
+MAX_REROUTES = 8
+
+
+@dataclass
+class OpRecord:
+    """One driven operation, from issue to completion (or failure)."""
+
+    index: int
+    kind: str  # "lookup" | "insert"
+    key: str
+    issued: float
+    completed: float | None = None
+    ok: bool = False
+    entries: int = 0
+    reroutes: int = 0
+    error: str | None = None
+
+    @property
+    def latency(self) -> float:
+        """Issue-to-completion time (the client-observed answer time)."""
+        if self.completed is None:
+            raise ValueError(f"operation #{self.index} never completed")
+        return self.completed - self.issued
+
+
+def completed_latencies(records: list[OpRecord]) -> list[float]:
+    """Latencies of the successfully completed operations."""
+    return [r.latency for r in records if r.ok]
+
+
+def summarize(records: list[OpRecord]) -> dict:
+    """Mean/median/p95/max latency plus completion counts."""
+    latencies = completed_latencies(records)
+    return {
+        "ops": len(records),
+        "ok": sum(1 for r in records if r.ok),
+        "failed": sum(1 for r in records if r.completed is not None and not r.ok),
+        "mean": mean(latencies),
+        "p50": percentile(latencies, 50.0),
+        "p95": percentile(latencies, 95.0),
+        "max": max(latencies, default=0.0),
+    }
+
+
+class _OpEngine:
+    """Shared launch/hop/arrive machinery behind both drivers."""
+
+    def __init__(
+        self,
+        pnet: PGridNetwork,
+        rng: random.Random,
+        diffusion: str = "none",
+        op_kind: str = "lookup",
+        reply_kind: str = "result",
+    ):
+        if pnet.scheduler is None:
+            raise ValueError("drivers need event-driven execution: use pnet.event_driven()")
+        self.pnet = pnet
+        self.scheduler = pnet.scheduler
+        self.rng = rng
+        self.diffusion = diffusion
+        self.op_kind = op_kind
+        self.reply_kind = reply_kind
+        self.records: list[OpRecord] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def launch(self, record: OpRecord, start: PGridPeer, on_done=None) -> None:
+        """Start one operation now; ``on_done(record)`` fires at completion."""
+        self.records.append(record)
+        self._route_leg(record, start, start, self.scheduler.now, on_done)
+
+    def _finish(self, record: OpRecord, time: float, ok: bool, error: str | None, on_done) -> None:
+        record.completed = time
+        record.ok = ok
+        record.error = error
+        if on_done is not None:
+            on_done(record)
+
+    # -- routing legs --------------------------------------------------------
+
+    def _route_leg(
+        self,
+        record: OpRecord,
+        current: PGridPeer,
+        origin: PGridPeer,
+        time: float,
+        on_done,
+    ) -> None:
+        """Discover (and maybe diffuse) a route from ``current``, then walk it."""
+        try:
+            destination, hops = route_hops(current, point_key(record.key), rng=self.rng)
+        except RoutingError as error:
+            # The partial hops were travelled before the dead end; account
+            # them as an untracked chain so message totals stay honest.
+            self._account_partial(getattr(error, "hops", []), time)
+            self._finish(record, time, ok=False, error=str(error), on_done=on_done)
+            return
+        if record.kind == "lookup":
+            destination, hops = diffuse_route(
+                destination,
+                hops,
+                policy=self.diffusion,
+                rng=self.rng,
+                load=self.scheduler.load,
+                now=time,
+            )
+        self._walk(record, destination, hops, 0, origin, time, on_done)
+
+    def _account_partial(self, hops: list[tuple[str, str]], time: float) -> None:
+        """Replay the hops of a failed route, liveness-checked per hop.
+
+        Unlike ``scheduler.chain`` this stops (instead of raising inside the
+        simulator) when churn kills a hop's destination before the message
+        reaches it, so one dead-end route can never crash the whole run.
+        """
+
+        def step(index: int, at: float) -> None:
+            if index == len(hops):
+                return
+            src_id, dst_id = hops[index]
+            dst = self.pnet.net.nodes.get(dst_id)
+            if dst is None or not dst.online:
+                return
+            self.scheduler.send_at(
+                at, src_id, dst_id, self.op_kind, 1, on_delivered=lambda t: step(index + 1, t)
+            )
+
+        step(0, time)
+
+    def _walk(
+        self,
+        record: OpRecord,
+        destination: PGridPeer,
+        hops: list[tuple[str, str]],
+        index: int,
+        origin: PGridPeer,
+        time: float,
+        on_done,
+    ) -> None:
+        """Traverse one hop, re-validating liveness at every delivery."""
+        if index == len(hops):
+            self._arrive(record, destination, origin, time, on_done)
+            return
+        src_id, dst_id = hops[index]
+        dst = self.pnet.net.nodes.get(dst_id)
+        if dst is None or not dst.online or not isinstance(dst, PGridPeer):
+            self._reroute(record, src_id, origin, time, on_done)
+            return
+
+        def delivered(at: float) -> None:
+            if not dst.online:
+                # The peer died while the message was in flight or queued;
+                # its drained work is redone from the previous hop.
+                self._reroute(record, src_id, origin, at, on_done)
+                return
+            self._walk(record, destination, hops, index + 1, origin, at, on_done)
+
+        self.scheduler.send_at(time, src_id, dst_id, self.op_kind, 1, on_delivered=delivered)
+
+    def _reroute(self, record: OpRecord, from_id: str, origin: PGridPeer, time, on_done) -> None:
+        """Re-route after a mid-flight failure, from the last live hop."""
+        record.reroutes += 1
+        if record.reroutes > MAX_REROUTES:
+            self._finish(record, time, ok=False, error="too many reroutes", on_done=on_done)
+            return
+        peer = self.pnet.net.nodes.get(from_id)
+        if peer is None or not peer.online or not isinstance(peer, PGridPeer):
+            peer = origin if origin.online else None
+        if peer is None:
+            self._finish(record, time, ok=False, error="initiator offline", on_done=on_done)
+            return
+        self._route_leg(record, peer, origin, time, on_done)
+
+    # -- destination work ----------------------------------------------------
+
+    def _arrive(
+        self, record: OpRecord, destination: PGridPeer, origin: PGridPeer, time: float, on_done
+    ) -> None:
+        if record.kind == "insert":
+            self._apply_insert(record, destination, time, on_done)
+            return
+        entries = destination.store.get(record.key)
+        record.entries = len(entries)
+        if destination is origin:
+            self._finish(record, time, ok=True, error=None, on_done=on_done)
+            return
+        if not origin.online:
+            self._finish(record, time, ok=False, error="initiator offline", on_done=on_done)
+            return
+
+        def replied(at: float) -> None:
+            self._finish(record, at, ok=True, error=None, on_done=on_done)
+
+        self.scheduler.send_at(
+            time,
+            destination.node_id,
+            origin.node_id,
+            self.reply_kind,
+            max(1, len(entries)),
+            on_delivered=replied,
+        )
+
+    def _apply_insert(self, record: OpRecord, destination: PGridPeer, time, on_done) -> None:
+        entry = Entry(
+            key=record.key,
+            item_id=f"drv-{record.index}",
+            value=f"v{record.index}",
+            version=self.pnet.next_version(),
+        )
+        destination.store.put(entry)
+        replica_ids = destination.online_replicas()
+        pending = len(replica_ids)
+        if not pending:
+            self._finish(record, time, ok=True, error=None, on_done=on_done)
+            return
+        latest = [time]
+
+        def pushed(at: float) -> None:
+            nonlocal pending
+            pending -= 1
+            latest[0] = max(latest[0], at)
+            if pending == 0:
+                self._finish(record, latest[0], ok=True, error=None, on_done=on_done)
+
+        for replica_id in replica_ids:
+            replica = self.pnet.net.nodes[replica_id]
+            replica.store.put(entry)
+            self.scheduler.send_at(
+                time, destination.node_id, replica_id, self.op_kind, 1, on_delivered=pushed
+            )
+
+
+class _DriverBase:
+    """Common setup: key sampling, gateway choice, churn replay."""
+
+    def __init__(
+        self,
+        pnet: PGridNetwork,
+        keys: list[str],
+        key_skew: float = 0.0,
+        insert_fraction: float = 0.0,
+        gateways: list[PGridPeer] | None = None,
+        diffusion: str = "none",
+        seed: int = 0,
+    ):
+        if not keys:
+            raise ValueError("need at least one key to drive")
+        if not 0.0 <= insert_fraction <= 1.0:
+            raise ValueError("insert_fraction must be in [0, 1]")
+        self.pnet = pnet
+        self.keys = list(keys)
+        self.key_skew = key_skew
+        self.insert_fraction = insert_fraction
+        self.gateways = list(gateways) if gateways else None
+        self.diffusion = diffusion
+        self.rng = random.Random(seed)
+        self._key_cumulative = zipf_cumulative(len(self.keys), key_skew)
+
+    def _pick_key(self) -> str:
+        return self.keys[zipf_rank(self._key_cumulative, self.rng.random())]
+
+    def _pick_kind(self) -> str:
+        if self.insert_fraction and self.rng.random() < self.insert_fraction:
+            return "insert"
+        return "lookup"
+
+    def _pick_gateway(self) -> PGridPeer:
+        if self.gateways:
+            candidates = [p for p in self.gateways if p.online]
+            if candidates:
+                return self.rng.choice(candidates)
+        return self.pnet.random_online_peer(self.rng)
+
+    def _engine(self) -> _OpEngine:
+        return _OpEngine(self.pnet, self.rng, diffusion=self.diffusion)
+
+    def _apply_churn(self, engine: _OpEngine, churn_trace: list[ChurnEvent] | None) -> None:
+        """Replay a churn session trace on the driver's shared simulator.
+
+        Event times are relative to the run start (the scheduler clock is
+        monotone across operations, so they are shifted onto it).
+        """
+        if not churn_trace:
+            return
+        offset = engine.scheduler.now
+        shifted = [replace(event, time=event.time + offset) for event in churn_trace]
+        ChurnModel(list(self.pnet.peers), seed=0).apply_trace(engine.scheduler.sim, shifted)
+
+
+class OpenLoopDriver(_DriverBase):
+    """Poisson arrivals at ``rate`` ops/s for ``horizon`` simulated seconds.
+
+    Open loop: the arrival process never waits, so offered load is exact and
+    overload shows up as queueing delay (and, past saturation, as a backlog
+    that keeps draining after the last arrival).
+    """
+
+    def __init__(
+        self,
+        pnet: PGridNetwork,
+        keys: list[str],
+        rate: float,
+        horizon: float,
+        **kwargs,
+    ):
+        super().__init__(pnet, keys, **kwargs)
+        if rate <= 0 or horizon <= 0:
+            raise ValueError("rate and horizon must be > 0")
+        self.rate = rate
+        self.horizon = horizon
+
+    def run(self, churn_trace: list[ChurnEvent] | None = None) -> list[OpRecord]:
+        engine = self._engine()
+        scheduler = engine.scheduler
+        self._apply_churn(engine, churn_trace)
+        start_time = scheduler.now
+        for index, offset in enumerate(poisson_arrivals(self.rng, self.rate, self.horizon)):
+            t = start_time + offset
+            record = OpRecord(index=index, kind=self._pick_kind(), key=self._pick_key(), issued=t)
+
+            def fire(record: OpRecord = record) -> None:
+                engine.launch(record, self._pick_gateway())
+
+            scheduler.sim.schedule_at(t, fire)
+        scheduler.run()
+        return engine.records
+
+
+class ClosedLoopDriver(_DriverBase):
+    """``clients`` users issuing ``ops_per_client`` ops with think time.
+
+    Closed loop: each client waits for its answer (plus ``think_time``)
+    before issuing again, so in-flight operations are bounded by the client
+    population and load self-limits near saturation.
+    """
+
+    def __init__(
+        self,
+        pnet: PGridNetwork,
+        keys: list[str],
+        clients: int = 8,
+        ops_per_client: int = 10,
+        think_time: float = 0.0,
+        **kwargs,
+    ):
+        super().__init__(pnet, keys, **kwargs)
+        if clients < 1 or ops_per_client < 1:
+            raise ValueError("need at least one client and one op per client")
+        if think_time < 0:
+            raise ValueError("think time must be >= 0")
+        self.clients = clients
+        self.ops_per_client = ops_per_client
+        self.think_time = think_time
+
+    def run(self, churn_trace: list[ChurnEvent] | None = None) -> list[OpRecord]:
+        engine = self._engine()
+        scheduler = engine.scheduler
+        self._apply_churn(engine, churn_trace)
+        counter = [0]
+
+        def issue(remaining: int) -> None:
+            record = OpRecord(
+                index=counter[0],
+                kind=self._pick_kind(),
+                key=self._pick_key(),
+                issued=scheduler.now,
+            )
+            counter[0] += 1
+
+            def done(_record: OpRecord) -> None:
+                if remaining > 1:
+                    scheduler.sim.schedule(self.think_time, lambda: issue(remaining - 1))
+
+            engine.launch(record, self._pick_gateway(), on_done=done)
+
+        start_time = scheduler.now
+        for _client in range(self.clients):
+            # Stagger client starts slightly so launch order is not degenerate.
+            scheduler.sim.schedule_at(
+                start_time + self.rng.uniform(0.0, 1e-3),
+                lambda: issue(self.ops_per_client),
+            )
+        scheduler.run()
+        return engine.records

@@ -1,0 +1,283 @@
+"""Per-peer service times and FIFO queueing.
+
+The event kernel of PR 3 made fan-out latency a *measured* quantity, but a
+peer was still an infinitely fast server: a delivered message completed the
+instant it arrived, so load never fed back into latency.  This module models
+the missing half.  Every node gets
+
+* a **service-time model** — a :class:`ServiceProfile` mapping message kinds
+  to processing cost (seconds per message plus an optional per-item cost for
+  sized batch messages), scaled by a per-peer **speed factor** (heterogeneous
+  hardware, drawn from a configurable distribution by
+  :func:`draw_speed_factors`); and
+* a **FIFO work queue** — a :class:`NodeQueue` whose single server processes
+  admitted messages in arrival order.  A message arriving at ``t`` starts
+  service at ``max(t, busy_until)`` and finishes ``service`` seconds later,
+  so a delivery's completion becomes *link latency + queueing delay + service
+  time* instead of link latency alone.
+
+:class:`LoadModel` bundles profile, speeds and the per-node queues.  The
+event scheduler (:mod:`repro.net.scheduler`) calls :meth:`LoadModel.admit`
+for every delivered message and fires the completion callback at the finish
+instant; with a zero profile every finish equals its arrival and the event
+sequence is byte-identical to running without a load model (asserted by
+tests and benchmark E12).
+
+Everything is deterministic: queues are plain arithmetic over the arrival
+order the simulator already fixes, and speed factors come from a seeded RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ServiceSample:
+    """One serviced message: where it queued and how long each phase took."""
+
+    node_id: str
+    kind: str
+    size: int
+    arrival: float
+    start: float
+    finish: float
+
+    @property
+    def wait(self) -> float:
+        """Queueing delay: time between arrival and start of service."""
+        return self.start - self.arrival
+
+    @property
+    def service(self) -> float:
+        """Pure processing time."""
+        return self.finish - self.start
+
+    @property
+    def sojourn(self) -> float:
+        """Total time in the system (wait + service)."""
+        return self.finish - self.arrival
+
+
+class ServiceProfile:
+    """Processing cost per message kind, in seconds on a speed-1.0 peer.
+
+    ``cost(kind, size) = base[kind] + per_item * size`` — the per-item term
+    models batch messages (a region's sub-batch costs proportionally more to
+    apply than a single probe).  Kinds without an explicit base fall back to
+    ``default``.
+    """
+
+    def __init__(
+        self,
+        costs: dict[str, float] | None = None,
+        default: float = 0.0,
+        per_item: float = 0.0,
+    ):
+        costs = dict(costs or {})
+        for kind, cost in costs.items():
+            if cost < 0:
+                raise ValueError(f"service cost for {kind!r} must be >= 0, got {cost}")
+        if default < 0 or per_item < 0:
+            raise ValueError("default and per_item costs must be >= 0")
+        self.costs = costs
+        self.default = default
+        self.per_item = per_item
+
+    def cost(self, kind: str, size: int = 1) -> float:
+        """Seconds of work one message of ``kind`` and ``size`` demands."""
+        return self.costs.get(kind, self.default) + self.per_item * max(0, size)
+
+    def is_zero(self) -> bool:
+        """True when every message costs nothing (the PR 3 behaviour)."""
+        return self.default == 0.0 and self.per_item == 0.0 and not any(self.costs.values())
+
+
+#: The no-op profile: peers are infinitely fast servers again.
+ZERO_PROFILE = ServiceProfile()
+
+
+def draw_speed_factors(
+    node_ids: list[str],
+    distribution: str = "lognormal",
+    sigma: float = 0.4,
+    low: float = 0.5,
+    high: float = 2.0,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Heterogeneous per-peer speed factors (service time = cost / speed).
+
+    ``lognormal`` (median 1.0, shape ``sigma``) models the long tail of slow
+    machines in deployed P2P populations; ``uniform`` draws from
+    ``[low, high]``; ``constant`` gives a homogeneous 1.0 fleet.  Node ids
+    are sorted before sampling so the mapping depends only on the membership
+    set and the seed, not on insertion order.
+    """
+    rng = random.Random(seed)
+    factors: dict[str, float] = {}
+    for node_id in sorted(node_ids):
+        if distribution == "constant":
+            factors[node_id] = 1.0
+        elif distribution == "uniform":
+            if not 0 < low <= high:
+                raise ValueError("need 0 < low <= high")
+            factors[node_id] = rng.uniform(low, high)
+        elif distribution == "lognormal":
+            factors[node_id] = rng.lognormvariate(0.0, sigma)
+        else:
+            raise ValueError(f"unknown speed distribution {distribution!r}")
+    return factors
+
+
+@dataclass
+class NodeQueue:
+    """One peer's FIFO work queue: a single server draining in arrival order.
+
+    The simulator already delivers events in time order (FIFO on ties), so
+    the queue reduces to arithmetic: track when the server frees up
+    (``busy_until``) and the finish instants of admitted-but-unfinished jobs
+    (for the queue-depth metric).  No extra simulator events are needed for
+    bookkeeping — completions are scheduled by the caller.
+    """
+
+    busy_until: float = 0.0
+    jobs: int = 0
+    busy_time: float = 0.0
+    total_wait: float = 0.0
+    total_sojourn: float = 0.0
+    max_depth: int = 0
+    _finishes: deque = field(default_factory=deque)
+
+    def admit(self, arrival: float, service: float) -> tuple[float, float, int]:
+        """Admit one job; return ``(start, finish, depth_on_arrival)``.
+
+        ``depth_on_arrival`` counts the jobs already in the system (queued or
+        in service) when this one arrived — the M/G/1-style backlog the new
+        job waits behind.
+        """
+        if service < 0:
+            raise ValueError(f"service time must be >= 0, got {service}")
+        while self._finishes and self._finishes[0] <= arrival:
+            self._finishes.popleft()
+        depth = len(self._finishes)
+        start = max(arrival, self.busy_until)
+        finish = start + service
+        self.busy_until = finish
+        self._finishes.append(finish)
+        self.jobs += 1
+        self.busy_time += service
+        self.total_wait += start - arrival
+        self.total_sojourn += finish - arrival
+        self.max_depth = max(self.max_depth, depth + 1)
+        return start, finish, depth
+
+    def backlog(self, now: float) -> float:
+        """Seconds of admitted work still ahead of a job arriving ``now``."""
+        return max(0.0, self.busy_until - now)
+
+
+class LoadModel:
+    """Service-time model + per-node queues for one overlay.
+
+    Attach to an event scheduler (``EventScheduler(..., load=model)`` or
+    ``pnet.event_driven(load=model)``) and every delivered message is routed
+    through :meth:`admit`; the scheduler fires downstream callbacks at the
+    finish instant, so queueing delay and service time propagate into hop
+    chains, fan-outs and full query traces.
+    """
+
+    def __init__(
+        self,
+        profile: ServiceProfile | None = None,
+        speeds: dict[str, float] | float = 1.0,
+        record_samples: bool = True,
+    ):
+        self.profile = profile or ZERO_PROFILE
+        if isinstance(speeds, (int, float)):
+            if speeds <= 0:
+                raise ValueError("speed factor must be > 0")
+            self._default_speed = float(speeds)
+            self._speeds: dict[str, float] = {}
+        else:
+            for node_id, factor in speeds.items():
+                if factor <= 0:
+                    raise ValueError(f"speed factor for {node_id!r} must be > 0")
+            self._default_speed = 1.0
+            self._speeds = dict(speeds)
+        self.record_samples = record_samples
+        self.samples: list[ServiceSample] = []
+        self._queues: dict[str, NodeQueue] = {}
+
+    def speed(self, node_id: str) -> float:
+        return self._speeds.get(node_id, self._default_speed)
+
+    def service_time(self, node_id: str, kind: str, size: int = 1) -> float:
+        """Seconds ``node_id`` needs to process one ``kind`` message."""
+        return self.profile.cost(kind, size) / self.speed(node_id)
+
+    def queue(self, node_id: str) -> NodeQueue:
+        queue = self._queues.get(node_id)
+        if queue is None:
+            queue = self._queues[node_id] = NodeQueue()
+        return queue
+
+    def backlog(self, node_id: str, now: float) -> float:
+        """Seconds of admitted work queued at ``node_id`` (non-mutating:
+        peers that never serviced anything stay out of the metrics)."""
+        queue = self._queues.get(node_id)
+        return queue.backlog(now) if queue is not None else 0.0
+
+    def admit(
+        self, node_id: str, arrival: float, kind: str, size: int = 1
+    ) -> tuple[float, float, int]:
+        """Queue one delivered message; return ``(start, finish, depth)``."""
+        service = self.service_time(node_id, kind, size)
+        start, finish, depth = self.queue(node_id).admit(arrival, service)
+        if self.record_samples:
+            self.samples.append(ServiceSample(node_id, kind, size, arrival, start, finish))
+        return start, finish, depth
+
+    # -- metrics -------------------------------------------------------------
+
+    def busy_by_peer(self) -> dict[str, float]:
+        """Total service seconds burned per peer — the query-load currency."""
+        return {node_id: queue.busy_time for node_id, queue in self._queues.items()}
+
+    def utilization(self, horizon: float) -> dict[str, float]:
+        """Fraction of ``horizon`` each peer spent serving (can exceed 1.0
+        when the offered load outruns the peer — the saturation signal)."""
+        if horizon <= 0:
+            raise ValueError("horizon must be > 0")
+        return {
+            node_id: queue.busy_time / horizon for node_id, queue in self._queues.items()
+        }
+
+    def sojourns(self, node_id: str | None = None) -> list[float]:
+        """Recorded per-message sojourn times (optionally for one peer)."""
+        return [
+            s.sojourn for s in self.samples if node_id is None or s.node_id == node_id
+        ]
+
+    def snapshot(self, horizon: float | None = None) -> dict:
+        """Stable per-peer summary (sorted keys; suitable for determinism tests)."""
+        out: dict = {}
+        for node_id in sorted(self._queues):
+            queue = self._queues[node_id]
+            stats = {
+                "jobs": queue.jobs,
+                "busy": round(queue.busy_time, 9),
+                "wait": round(queue.total_wait, 9),
+                "sojourn": round(queue.total_sojourn, 9),
+                "max_depth": queue.max_depth,
+            }
+            if horizon:
+                stats["utilization"] = round(queue.busy_time / horizon, 9)
+            out[node_id] = stats
+        return out
+
+    def reset(self) -> None:
+        """Drop all queues and samples (speeds and profile are kept)."""
+        self.samples.clear()
+        self._queues.clear()

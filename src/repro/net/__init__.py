@@ -33,7 +33,7 @@ from repro.net.network import Network
 from repro.net.node import Node
 from repro.net.scheduler import Delivery, EventScheduler
 from repro.net.simulator import EventSimulator
-from repro.net.stats import NetworkStats, StatsFrame
+from repro.net.stats import NetworkStats, QueueLedger, StatsFrame
 from repro.net.trace import Trace
 
 __all__ = [
@@ -43,6 +43,7 @@ __all__ = [
     "Trace",
     "NetworkStats",
     "StatsFrame",
+    "QueueLedger",
     "EventSimulator",
     "EventScheduler",
     "Delivery",

@@ -12,7 +12,14 @@ For genuinely concurrent fan-outs there is an event-driven sibling,
 :class:`~repro.net.scheduler.EventScheduler`, which schedules messages as
 discrete events over the same network (same validation, same latency
 sampling, same stats ledger) and measures completion times on a simulated
-clock instead of composing them analytically.
+clock instead of composing them analytically.  The scheduler optionally
+carries a per-peer queueing layer (:mod:`repro.load.model`): with a load
+model attached, a delivery completes at link latency + queueing delay +
+service time, so hot peers become genuine latency bottlenecks.
+
+``Network`` also hosts cross-cutting overlay policy flags that routing
+consults via ``peer.network`` (currently :attr:`Network.route_warming`, the
+piggybacked route-cache warming switch).
 """
 
 from __future__ import annotations
@@ -37,6 +44,9 @@ class Network:
         self.stats = NetworkStats()
         self.nodes: dict[str, Node] = {}
         self._link_latency: dict[tuple[str, str], float] = {}
+        #: When True, routed messages piggyback the learned destination so
+        #: transit peers warm their route caches (see repro.pgrid.routing).
+        self.route_warming = False
 
     # -- membership ---------------------------------------------------------
 

@@ -19,6 +19,14 @@ identical event sequence (asserted by the scheduler tests).
 The scheduler shares the network's validation, latency sampling and stats
 ledger: a message scheduled here is accounted exactly like one sent through
 :meth:`Network.send`, just timestamped with its simulated delivery instant.
+
+With a :class:`~repro.load.model.LoadModel` attached, delivery is no longer
+completion: an arrived message enters the destination's FIFO work queue and
+its ``on_delivered`` callback fires at the *finish* of service, so queueing
+delay and service time flow into every downstream hop and completion time
+(latency = link + queue + service).  With no load model — or a zero-cost
+profile — finish equals arrival and the event sequence is byte-identical to
+the load-free scheduler.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from repro.net.simulator import EventSimulator
 from repro.net.trace import Trace
 
 if TYPE_CHECKING:
+    from repro.load.model import LoadModel
     from repro.net.network import Network
 
 #: Callback invoked with the delivery instant of a message or chain.
@@ -65,9 +74,15 @@ class EventScheduler:
     before a drain overlaps.
     """
 
-    def __init__(self, network: "Network", simulator: EventSimulator | None = None):
+    def __init__(
+        self,
+        network: "Network",
+        simulator: EventSimulator | None = None,
+        load: "LoadModel | None" = None,
+    ):
         self.net = network
         self.sim = simulator or EventSimulator()
+        self.load = load
         self.log: list[Delivery] = []
 
     @property
@@ -92,6 +107,12 @@ class EventScheduler:
         is free and unlogged, like its synchronous counterpart, but the
         callback still goes through the simulator so completion ordering is
         uniform.
+
+        With a load model attached, the arrived message is admitted to the
+        destination's work queue and ``on_delivered`` fires at its service
+        *finish* instant rather than at arrival (local sends stay free — no
+        message is processed).  The returned value remains the network
+        arrival: queueing happens after it.
         """
         if src == dst:
             if on_delivered is not None:
@@ -109,8 +130,20 @@ class EventScheduler:
         def deliver() -> None:
             self.net.stats.record(kind, size, at=arrival)
             self.log.append(Delivery(arrival, src, dst, kind, size))
-            if on_delivered is not None:
+            if self.load is None:
+                if on_delivered is not None:
+                    on_delivered(arrival)
+                return
+            start, finish, depth = self.load.admit(dst, arrival, kind, size)
+            self.net.stats.record_service(dst, start - arrival, finish - start, depth)
+            if on_delivered is None:
+                return
+            if finish <= arrival:
+                # Zero-cost service on an idle queue: complete inline, so the
+                # event sequence matches the load-free scheduler exactly.
                 on_delivered(arrival)
+            else:
+                self.sim.schedule_at(finish, lambda: on_delivered(finish))
 
         self.sim.schedule_at(arrival, deliver)
         return arrival

@@ -16,12 +16,39 @@ Messages delivered by the event-driven scheduler carry a simulated-time
 timestamp (``record(..., at=...)``); a frame then also tracks the first and
 last delivery instants it saw, so a query frame reports its simulated span
 (:attr:`StatsFrame.completion_time`) alongside its message counts.
+
+When a load model is attached (:mod:`repro.load.model`), every serviced
+message additionally reports its queueing delay and service time through
+:meth:`NetworkStats.record_service`, aggregated per peer into
+:class:`QueueLedger` entries.  :meth:`StatsFrame.snapshot` includes these
+queueing fields *only when a load model produced them* — trace-mode runs
+(and event-mode runs without a load model) keep their historical,
+byte-for-byte identical snapshot, so the E1–E11 result tables stay
+comparable with prior PRs.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+
+
+@dataclass
+class QueueLedger:
+    """Per-peer queueing totals inside one stats frame."""
+
+    jobs: int = 0
+    busy: float = 0.0
+    wait: float = 0.0
+    sojourn: float = 0.0
+    max_depth: int = 0
+
+    def record(self, wait: float, service: float, depth: int) -> None:
+        self.jobs += 1
+        self.busy += service
+        self.wait += wait
+        self.sojourn += wait + service
+        self.max_depth = max(self.max_depth, depth + 1)
 
 
 @dataclass
@@ -34,6 +61,7 @@ class StatsFrame:
     bytes_by_kind: Counter = field(default_factory=Counter)
     first_time: float | None = None
     last_time: float | None = None
+    queueing: dict[str, QueueLedger] = field(default_factory=dict)
 
     def record(self, kind: str, size: int, at: float | None = None) -> None:
         self.messages += 1
@@ -58,13 +86,37 @@ class StatsFrame:
             return 0.0
         return self.last_time - self.first_time
 
+    def record_service(self, node_id: str, wait: float, service: float, depth: int) -> None:
+        """Account one serviced message's queueing delay at ``node_id``."""
+        ledger = self.queueing.get(node_id)
+        if ledger is None:
+            ledger = self.queueing[node_id] = QueueLedger()
+        ledger.record(wait, service, depth)
+
     def snapshot(self) -> dict:
-        """Return a plain-dict summary (stable for logging/tests)."""
-        return {
+        """Return a plain-dict summary (stable for logging/tests).
+
+        Queueing fields appear only when a load model serviced messages in
+        this frame; without one the output is byte-for-byte what it was
+        before the load subsystem existed.
+        """
+        snap = {
             "messages": self.messages,
             "bytes": self.bytes,
             "by_kind": dict(self.by_kind),
         }
+        if self.queueing:
+            snap["queueing"] = {
+                node_id: {
+                    "jobs": ledger.jobs,
+                    "busy": ledger.busy,
+                    "wait": ledger.wait,
+                    "sojourn": ledger.sojourn,
+                    "max_depth": ledger.max_depth,
+                }
+                for node_id, ledger in sorted(self.queueing.items())
+            }
+        return snap
 
 
 class NetworkStats:
@@ -78,6 +130,12 @@ class NetworkStats:
         self.total.record(kind, size, at=at)
         for frame in self._frames:
             frame.record(kind, size, at=at)
+
+    def record_service(self, node_id: str, wait: float, service: float, depth: int) -> None:
+        """Account one serviced message (load model active) in every frame."""
+        self.total.record_service(node_id, wait, service, depth)
+        for frame in self._frames:
+            frame.record_service(node_id, wait, service, depth)
 
     def push_frame(self) -> StatsFrame:
         frame = StatsFrame()

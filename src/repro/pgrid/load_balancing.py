@@ -171,9 +171,9 @@ def _find_donor(pnet: PGridNetwork, capacity: int, exclude_path: str) -> PGridPe
     return donors[0] if donors else None
 
 
-def load_imbalance(pnet: PGridNetwork) -> dict[str, float]:
-    """Summary statistics of per-peer storage load (metric of exp. E3)."""
-    loads = sorted(p.load for p in pnet.peers)
+def imbalance_stats(values: list[float]) -> dict[str, float]:
+    """Max / mean / max-over-mean / Gini over a list of per-peer loads."""
+    loads = sorted(values)
     if not loads or sum(loads) == 0:
         return {"max": 0.0, "mean": 0.0, "max_over_mean": 0.0, "gini": 0.0}
     total = sum(loads)
@@ -190,3 +190,31 @@ def load_imbalance(pnet: PGridNetwork) -> dict[str, float]:
         "max_over_mean": loads[-1] / mean if mean else 0.0,
         "gini": gini,
     }
+
+
+def load_imbalance(pnet: PGridNetwork) -> dict[str, float]:
+    """Summary statistics of per-peer storage load (metric of exp. E3)."""
+    return imbalance_stats([float(p.load) for p in pnet.peers])
+
+
+def query_load_imbalance(
+    busy_by_peer: dict[str, float], population: list[str] | None = None
+) -> dict[str, float]:
+    """E3's imbalance metric applied to *query* load (service seconds).
+
+    Takes the per-peer busy-time map of a
+    :class:`~repro.load.model.LoadModel` (``load.busy_by_peer()``) — the
+    runtime counterpart of storage load: how unevenly the processing work of
+    a driven workload landed on the peers.  Benchmark E12 reports it before
+    and after replica diffusion.
+
+    ``population`` pins the peer set the statistic is computed over: peers
+    in it that serviced nothing count as 0.0 load (a load map alone only
+    lists peers that received messages, which would make a single hot peer
+    look perfectly balanced).
+    """
+    if population is None:
+        loads = list(busy_by_peer.values())
+    else:
+        loads = [busy_by_peer.get(node_id, 0.0) for node_id in population]
+    return imbalance_stats(loads)

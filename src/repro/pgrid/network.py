@@ -46,7 +46,7 @@ from repro.net.trace import Trace
 from repro.pgrid.datastore import Entry
 from repro.pgrid.keys import KeyRange, is_complete_partition, responsible
 from repro.pgrid.peer import PGridPeer
-from repro.pgrid.routing import point_key, replay_hops, route, route_hops
+from repro.pgrid.routing import account_hops, point_key, replay_hops, route, route_hops
 
 
 class PGridNetwork:
@@ -61,12 +61,21 @@ class PGridNetwork:
         self.peers: list[PGridPeer] = []
         self._clock = 0  # Lamport-style version counter for updates
         self.scheduler: EventScheduler | None = None
+        #: Default replica-diffusion policy for reads ("none" | "random" |
+        #: "least-busy"); see :mod:`repro.load.diffusion`.
+        self.replica_diffusion = "none"
 
     # -- execution model -----------------------------------------------------
 
-    def attach_scheduler(self, simulator: EventSimulator | None = None) -> EventScheduler:
-        """Switch data operations to event-driven (simulated-time) execution."""
-        self.scheduler = EventScheduler(self.net, simulator)
+    def attach_scheduler(
+        self, simulator: EventSimulator | None = None, load=None
+    ) -> EventScheduler:
+        """Switch data operations to event-driven (simulated-time) execution.
+
+        ``load`` (a :class:`~repro.load.model.LoadModel`) adds per-peer
+        service times and FIFO queueing on top of link latency.
+        """
+        self.scheduler = EventScheduler(self.net, simulator, load=load)
         return self.scheduler
 
     def detach_scheduler(self) -> None:
@@ -74,14 +83,20 @@ class PGridNetwork:
         self.scheduler = None
 
     @contextmanager
-    def event_driven(self, simulator: EventSimulator | None = None) -> Iterator[EventScheduler]:
+    def event_driven(
+        self, simulator: EventSimulator | None = None, load=None
+    ) -> Iterator[EventScheduler]:
         """Scope event-driven execution::
 
             with pnet.event_driven() as sched:
                 results, trace = pnet.lookup_many(keys)
             # trace.latency was measured on sched's clock
+
+        With ``load=LoadModel(...)`` deliveries additionally queue for
+        service at their destination peers, so the measured latency is
+        link + queueing + service.
         """
-        scheduler = self.attach_scheduler(simulator)
+        scheduler = self.attach_scheduler(simulator, load=load)
         try:
             yield scheduler
         finally:
@@ -177,16 +192,46 @@ class PGridNetwork:
         return entries, trace
 
     def lookup_at(
-        self, key: str, start: PGridPeer | None = None, kind: str = "lookup"
+        self,
+        key: str,
+        start: PGridPeer | None = None,
+        kind: str = "lookup",
+        diffusion: str | None = None,
     ) -> tuple[list[Entry], Trace, PGridPeer]:
         """Like :meth:`lookup`, but the result *stays at the destination peer*.
 
         Returns ``(entries, trace, destination)`` without the reply hop; the
         physical operators use this provenance-aware form to model different
         data flows (ship-to-coordinator vs. re-hash to rendezvous peers).
+
+        ``diffusion`` (default: :attr:`replica_diffusion`) spreads the read
+        over the responsible replica group by redirecting the last hop to a
+        chosen member — hop count is unchanged, but a hot destination stops
+        being the only peer that serves its key.
         """
         start = start or self.random_online_peer()
-        destination, trace = route(start, point_key(key), kind=kind, scheduler=self.scheduler)
+        policy = self.replica_diffusion if diffusion is None else diffusion
+        if policy == "none":
+            destination, trace = route(start, point_key(key), kind=kind, scheduler=self.scheduler)
+            return destination.store.get(key), trace, destination
+        from repro.load.diffusion import diffuse_route  # deferred: load imports pgrid
+
+        try:
+            destination, hops = route_hops(start, point_key(key))
+        except RoutingError as error:
+            error.trace = account_hops(
+                self.net, getattr(error, "hops", []), kind, 1, self.scheduler
+            )
+            raise
+        destination, hops = diffuse_route(
+            destination,
+            hops,
+            policy=policy,
+            rng=self.rng,
+            load=self.scheduler.load if self.scheduler else None,
+            now=self.scheduler.now if self.scheduler else 0.0,
+        )
+        trace = account_hops(self.net, hops, kind, 1, self.scheduler)
         return destination.store.get(key), trace, destination
 
     # -- bulk data operations (destination-grouped, message-accounted) ---------
@@ -220,6 +265,28 @@ class PGridNetwork:
             pending = [k for k in pending if k not in covered_set]
             regions.append((destination, covered, hops))
         return regions
+
+    def _diffuse_regions(
+        self, regions: list[tuple[PGridPeer, list[str], list[tuple[str, str]]]]
+    ) -> list[tuple[PGridPeer, list[str], list[tuple[str, str]]]]:
+        """Apply the read-diffusion policy to each region's last hop.
+
+        Reads only: writes must keep landing on the routed destination (its
+        replica pushes cover the group).  A "none" policy is the identity.
+        """
+        if self.replica_diffusion == "none":
+            return regions
+        from repro.load.diffusion import diffuse_route  # deferred: load imports pgrid
+
+        load = self.scheduler.load if self.scheduler else None
+        now = self.scheduler.now if self.scheduler else 0.0
+        diffused = []
+        for destination, region_keys, hops in regions:
+            destination, hops = diffuse_route(
+                destination, hops, policy=self.replica_diffusion, rng=self.rng, load=load, now=now
+            )
+            diffused.append((destination, region_keys, hops))
+        return diffused
 
     def insert_many(
         self,
@@ -323,12 +390,18 @@ class PGridNetwork:
         simulated clock (each destination reads its store at its arrival
         instant) and the call completes when the last region's reply lands —
         the max, not the sum, of the chain latencies.
+
+        With :attr:`replica_diffusion` enabled each region's last hop is
+        redirected across the responsible replica group, so the batched read
+        hot path (joins, MQP probes, ``by_oids``) spreads query load too —
+        same entries, same hop count, different serving member.
         """
         start = start or self.random_online_peer()
         unique = set(keys)
         if not unique:
             return {}, Trace.ZERO
         regions = self._route_regions(unique, start, kind)
+        regions = self._diffuse_regions(regions)
         results: dict[str, list[Entry]] = {}
         if self.scheduler is not None:
             trace = self._lookup_regions_event(regions, results, start, kind)

@@ -19,6 +19,23 @@ def replica_groups(pnet: PGridNetwork) -> dict[str, list[PGridPeer]]:
     return pnet.leaf_groups()
 
 
+def online_group(peer: PGridPeer) -> list[PGridPeer]:
+    """``peer`` plus its online replicas, sorted by node id.
+
+    Every member holds the group's data and can serve its reads — the target
+    set for replica-based query-load diffusion
+    (:mod:`repro.load.diffusion`).  Uses only the peer's own replica list
+    (validated at use), not the global view.
+    """
+    members = [peer]
+    for replica_id in peer.online_replicas():
+        replica = peer.network.nodes.get(replica_id)
+        if isinstance(replica, PGridPeer):
+            members.append(replica)
+    members.sort(key=lambda p: p.node_id)
+    return members
+
+
 def replication_factor(pnet: PGridNetwork) -> float:
     """Mean replica-group size."""
     groups = pnet.leaf_groups()

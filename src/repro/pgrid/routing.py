@@ -21,6 +21,16 @@ operations in :mod:`repro.pgrid.network`:
   cached peer churned away (went offline, changed path, disappeared); a
   routing dead-end (offline detour) invalidates the covering entry too.
 
+* **route-cache warming** (opt-in: ``network.route_warming = True``) — a
+  routed data message piggybacks the sender's freshly learned cache entry
+  for the destination, so every *transit* peer on the path warms its own
+  cache from traffic it merely forwards, and mid-route the current peer's
+  cache is consulted too (a warm intermediate short-circuits the rest of
+  the route).  Repeat lookups from a second peer whose route crosses warmed
+  peers therefore take fewer hops without ever having routed the key
+  themselves — the minimal version of the ROADMAP's route-cache
+  anti-entropy item.
+
 * **deferred accounting** — :func:`route_hops` discovers the hop sequence
   without sending anything, so bulk operations can group keys by destination
   first and then charge each route *once per region* with the region's real
@@ -180,6 +190,7 @@ def route_hops(
             hops = [] if cached is start else [(start.node_id, cached.node_id)]
             return cached, hops
 
+    warming = use_cache and getattr(start.network, "route_warming", False)
     current = start
     hops: list[tuple[str, str]] = []
     visited_detours: set[str] = set()
@@ -188,7 +199,18 @@ def route_hops(
         if is_destination(current, key):
             if use_cache and current.path:
                 start.route_cache.put(current.path, current.node_id)
+            if warming and current.path:
+                _warm_transit(start, hops, current)
             return current, hops
+
+        if warming and current is not start:
+            # The message carries the key it routes towards; a transit peer
+            # with a warm cache entry short-circuits the remaining hops.
+            cached = _cached_destination(current, key)
+            if cached is not None and cached is not current:
+                hops.append((current.node_id, cached.node_id))
+                current = cached
+                continue
 
         level = common_prefix_length(current.path, key)
         candidates = current.valid_refs(level)
@@ -219,6 +241,22 @@ def route_hops(
     error = RoutingError(f"route exceeded {MAX_HOPS} hops towards {key[:24]!r}")
     error.hops = hops
     raise error
+
+
+def _warm_transit(start: PGridPeer, hops: list[tuple[str, str]], destination: PGridPeer) -> None:
+    """Piggyback the learned ``(path -> destination)`` entry onto the route.
+
+    Every transit peer that forwarded the message (the hop sources, minus
+    the initiator whose cache is populated by :func:`route_hops` itself)
+    warms its own route cache from the traffic it observed.
+    """
+    network = start.network
+    for src_id, _dst_id in hops:
+        if src_id == start.node_id or src_id == destination.node_id:
+            continue
+        peer = network.nodes.get(src_id)
+        if isinstance(peer, PGridPeer):
+            peer.route_cache.put(destination.path, destination.node_id)
 
 
 def replay_hops(network: "Network", hops: list[tuple[str, str]], kind: str, size: int) -> Trace:
@@ -271,14 +309,12 @@ def route(
     try:
         destination, hops = route_hops(start, key, rng=rng, use_cache=use_cache)
     except RoutingError as error:
-        error.trace = _account_hops(
-            start.network, getattr(error, "hops", []), kind, size, scheduler
-        )
+        error.trace = account_hops(start.network, getattr(error, "hops", []), kind, size, scheduler)
         raise
-    return destination, _account_hops(start.network, hops, kind, size, scheduler)
+    return destination, account_hops(start.network, hops, kind, size, scheduler)
 
 
-def _account_hops(
+def account_hops(
     network: "Network",
     hops: list[tuple[str, str]],
     kind: str,
