@@ -144,6 +144,12 @@ class UniStore:
         return trace
 
     def add_mapping(self, source: str, target: str, confidence: float = 1.0) -> Trace:
+        """Publish a schema correspondence ``source -> target`` (§2 mappings).
+
+        Stored as ordinary metadata triples; queries executed with
+        ``expand_mappings=True`` widen attribute names along these edges.
+        Returns the publication trace.
+        """
         trace = self.mappings.add(SchemaMapping(source, target, confidence))
         self._stats = None
         return trace
@@ -184,17 +190,20 @@ class UniStore:
 
     @property
     def statistics(self) -> CatalogStatistics:
+        """Catalog statistics the optimizer costs plans against (cached;
+        invalidated automatically by every ingest/rebalance)."""
         if self._stats is None:
             self._stats = CatalogStatistics.from_store(self.store)
         return self._stats
 
     def refresh_statistics(self) -> CatalogStatistics:
+        """Force-rebuild the catalog statistics and return them."""
         self._stats = None
         return self.statistics
 
     # -- execution model ---------------------------------------------------------
 
-    def event_driven(self, simulator=None, load=None):
+    def event_driven(self, simulator=None, load=None, hints=False):
         """Scope event-driven (simulated-time) execution for this store.
 
         Inside the ``with`` block every routed operation — query fan-outs,
@@ -212,12 +221,24 @@ class UniStore:
         include queueing delay at hot peers (latency = link + queue +
         service) and per-peer utilization shows up in
         ``sched.load.snapshot()`` and the stats frames.
+
+        Two load-control knobs ride on the model
+        (:mod:`repro.load.shedding`): ``LoadModel(..., admission=policy)``
+        lets saturated peers reject or defer work past a queue budget, and
+        ``hints=True`` attaches a queue-depth hint registry so every message
+        piggybacks its sender's smoothed depth — the information the
+        ``least-busy`` diffusion policy and reject retries act on.
         """
-        return self.pnet.event_driven(simulator=simulator, load=load)
+        return self.pnet.event_driven(simulator=simulator, load=load, hints=hints)
 
     @property
     def replica_diffusion(self) -> str:
-        """Read-diffusion policy over replica groups ("none"/"random"/"least-busy")."""
+        """Read-diffusion policy over replica groups.
+
+        One of ``"none"`` | ``"random"`` | ``"least-busy"`` (piggybacked
+        hints, falling back to the oracle then to random when unavailable) |
+        ``"least-busy-oracle"`` (simulator-side baseline).
+        """
         return self.pnet.replica_diffusion
 
     @replica_diffusion.setter

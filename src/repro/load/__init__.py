@@ -9,17 +9,31 @@ Layers a per-peer workload model over the event kernel of
 * :mod:`repro.load.drivers` — open-loop (Poisson) and closed-loop workload
   drivers that keep many operations in flight on one shared clock;
 * :mod:`repro.load.diffusion` — replica-based query-load diffusion, the
-  first load-aware behaviour (benchmark E12 measures its knee shift).
+  first load-aware behaviour (benchmark E12 measures its knee shift);
+* :mod:`repro.load.shedding` — admission control (reject/defer past a
+  queue budget) and piggybacked queue-depth hints, the load-control loop
+  benchmark E12d measures under overload.
 """
 
-from repro.load.diffusion import POLICIES, choose_replica, diffuse_route, replica_set
+from repro.load.diffusion import POLICIES, choose_replica, diffuse_route, pick_member, replica_set
 from repro.load.drivers import (
+    MAX_REJECT_RETRIES,
     MAX_REROUTES,
     ClosedLoopDriver,
     OpenLoopDriver,
     OpRecord,
     completed_latencies,
+    goodput,
     summarize,
+)
+from repro.load.shedding import (
+    AdmissionPolicy,
+    DeadlineAdmission,
+    HintRegistry,
+    HintTable,
+    ProbabilisticAdmission,
+    ThresholdAdmission,
+    pick_least_hinted,
 )
 from repro.load.model import (
     ZERO_PROFILE,
@@ -43,8 +57,18 @@ __all__ = [
     "completed_latencies",
     "summarize",
     "MAX_REROUTES",
+    "MAX_REJECT_RETRIES",
+    "goodput",
     "POLICIES",
     "choose_replica",
     "diffuse_route",
+    "pick_member",
     "replica_set",
+    "AdmissionPolicy",
+    "ThresholdAdmission",
+    "ProbabilisticAdmission",
+    "DeadlineAdmission",
+    "HintTable",
+    "HintRegistry",
+    "pick_least_hinted",
 ]

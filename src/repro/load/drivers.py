@@ -31,12 +31,12 @@ completed or failed, deterministically.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.bench.harness import mean, percentile
 from repro.bench.workloads import poisson_arrivals, zipf_cumulative, zipf_rank
 from repro.errors import RoutingError
-from repro.load.diffusion import diffuse_route
+from repro.load.diffusion import diffuse_route, pick_member
 from repro.net.churn import ChurnEvent, ChurnModel
 from repro.pgrid.datastore import Entry
 from repro.pgrid.network import PGridNetwork
@@ -45,6 +45,10 @@ from repro.pgrid.routing import point_key, route_hops
 
 #: A flapping overlay could re-route an operation forever; bound it.
 MAX_REROUTES = 8
+
+#: Retry budget after admission-control rejects: a rejected operation tries
+#: other replica-group members (then fails *reported*, never silently).
+MAX_REJECT_RETRIES = 5
 
 
 @dataclass
@@ -59,6 +63,8 @@ class OpRecord:
     ok: bool = False
     entries: int = 0
     reroutes: int = 0
+    rejections: int = 0
+    rejected_by: list[str] = field(default_factory=list)
     error: str | None = None
 
     @property
@@ -75,17 +81,32 @@ def completed_latencies(records: list[OpRecord]) -> list[float]:
 
 
 def summarize(records: list[OpRecord]) -> dict:
-    """Mean/median/p95/max latency plus completion counts."""
+    """Mean/median/p95/p99/max latency plus completion and shed counts."""
     latencies = completed_latencies(records)
     return {
         "ops": len(records),
         "ok": sum(1 for r in records if r.ok),
         "failed": sum(1 for r in records if r.completed is not None and not r.ok),
+        "rejections": sum(r.rejections for r in records),
         "mean": mean(latencies),
         "p50": percentile(latencies, 50.0),
         "p95": percentile(latencies, 95.0),
+        "p99": percentile(latencies, 99.0),
         "max": max(latencies, default=0.0),
     }
+
+
+def goodput(records: list[OpRecord], slo: float, horizon: float) -> float:
+    """Useful throughput: completed-in-time operations per second.
+
+    Only operations that succeeded *and* answered within ``slo`` seconds
+    count — the currency of benchmark E12d, where shedding trades a few
+    reported failures for keeping the admitted work fast.
+    """
+    if slo <= 0 or horizon <= 0:
+        raise ValueError("slo and horizon must be > 0")
+    good = sum(1 for r in records if r.ok and r.latency <= slo)
+    return good / horizon
 
 
 class _OpEngine:
@@ -150,6 +171,8 @@ class _OpEngine:
                 rng=self.rng,
                 load=self.scheduler.load,
                 now=time,
+                hints=self.pnet.net.hints,
+                observer=origin.node_id,
             )
         self._walk(record, destination, hops, 0, origin, time, on_done)
 
@@ -202,7 +225,100 @@ class _OpEngine:
                 return
             self._walk(record, destination, hops, index + 1, origin, at, on_done)
 
-        self.scheduler.send_at(time, src_id, dst_id, self.op_kind, 1, on_delivered=delivered)
+        def rejected(at: float) -> None:
+            self._rejected(record, src_id, dst_id, destination, hops, index, origin, at, on_done)
+
+        self.scheduler.send_at(
+            time, src_id, dst_id, self.op_kind, 1, on_delivered=delivered, on_rejected=rejected
+        )
+
+    def _rejected(
+        self,
+        record: OpRecord,
+        src_id: str,
+        dst_id: str,
+        destination: PGridPeer,
+        hops: list[tuple[str, str]],
+        index: int,
+        origin: PGridPeer,
+        time: float,
+        on_done,
+    ) -> None:
+        """The peer at ``dst_id`` shed this operation's hop; retry elsewhere.
+
+        A reject at the *final* hop retries another member of the responsible
+        replica group (every member holds the data); a reject at a transit
+        hop re-routes from the last live peer, where hint-aware reference
+        choice steers the new route around the saturated peer.  Both paths
+        are bounded by :data:`MAX_REJECT_RETRIES`; exhausting the budget
+        fails the operation *reported* (``error="rejected"``), never
+        silently.
+        """
+        record.rejections += 1
+        record.rejected_by.append(dst_id)
+        if record.rejections > MAX_REJECT_RETRIES:
+            self._finish(
+                record, time, ok=False, error="rejected: retry budget exhausted", on_done=on_done
+            )
+            return
+        src = self.pnet.net.nodes.get(src_id)
+        if src is None or not src.online:
+            self._reroute(record, src_id, origin, time, on_done)
+            return
+        final_hop = index == len(hops) - 1 and dst_id == destination.node_id
+        if final_hop and record.kind == "lookup":
+            alternative = self._alternative_member(record, destination, src_id)
+            if alternative is not None:
+                self._walk(
+                    record,
+                    alternative,
+                    [(src_id, alternative.node_id)],
+                    0,
+                    origin,
+                    time,
+                    on_done,
+                )
+                return
+            self._finish(
+                record, time, ok=False, error="rejected: no replica admitted", on_done=on_done
+            )
+            return
+        # Transit-hop reject (or a shed write): route again from the sender.
+        self._route_leg(record, src, origin, time, on_done)
+
+    def _alternative_member(
+        self, record: OpRecord, destination: PGridPeer, chooser_id: str
+    ) -> PGridPeer | None:
+        """An untried replica-group member to retry a shed read at.
+
+        The chooser is the peer that received the reject NACK and sends the
+        retry hop; its hint table is ranked when a registry is attached (the
+        NACK itself just delivered the rejector's depth to it, and on the
+        common cache-hit direct route the chooser *is* the reply-fed
+        gateway).  The oracle ranks under the ``least-busy-oracle``
+        diffusion policy; otherwise the pick is uniform.
+        """
+        from repro.pgrid.replication import online_group  # deferred: pgrid imports load
+
+        members = [p for p in online_group(destination) if p.node_id not in record.rejected_by]
+        if not members:
+            return None
+        hints = self.pnet.net.hints
+        if self.diffusion == "least-busy-oracle":
+            policy = "least-busy-oracle"
+        elif hints is not None:
+            policy = "least-busy"
+        else:
+            policy = "random"
+        return pick_member(
+            members,
+            policy,
+            rng=self.rng,
+            load=self.scheduler.load,
+            now=self.scheduler.now,
+            hints=hints,
+            observer=chooser_id,
+        )
 
     def _reroute(self, record: OpRecord, from_id: str, origin: PGridPeer, time, on_done) -> None:
         """Re-route after a mid-flight failure, from the last live hop."""

@@ -17,11 +17,19 @@ the missing half.  Every node gets
   time* instead of link latency alone.
 
 :class:`LoadModel` bundles profile, speeds and the per-node queues.  The
-event scheduler (:mod:`repro.net.scheduler`) calls :meth:`LoadModel.admit`
-for every delivered message and fires the completion callback at the finish
+event scheduler (:mod:`repro.net.scheduler`) calls :meth:`LoadModel.offer`
+for every delivered message — the admission gate in front of
+:meth:`LoadModel.admit` — and fires the completion callback at the finish
 instant; with a zero profile every finish equals its arrival and the event
 sequence is byte-identical to running without a load model (asserted by
 tests and benchmark E12).
+
+Saturated peers need not accept every job: pass ``admission=`` an
+:class:`~repro.load.shedding.AdmissionPolicy` (or a per-peer dict of them)
+and :meth:`NodeQueue.offer` consults it before admitting, returning a
+``reject`` or ``defer`` verdict once the peer is past its queue-depth or
+sojourn budget.  With ``admission=None`` (the default) every offer accepts
+and the behaviour is exactly the PR 4 model.
 
 Everything is deterministic: queues are plain arithmetic over the arrival
 order the simulator already fixes, and speed factors come from a seeded RNG.
@@ -32,6 +40,8 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
+
+from repro.load.shedding import ACCEPT, DEFER, AdmissionPolicy
 
 
 @dataclass(frozen=True)
@@ -142,12 +152,18 @@ class NodeQueue:
     bookkeeping — completions are scheduled by the caller.
     """
 
+    #: EWMA weight for the advertised (smoothed) queue depth.
+    EWMA_ALPHA = 0.5
+
     busy_until: float = 0.0
     jobs: int = 0
     busy_time: float = 0.0
     total_wait: float = 0.0
     total_sojourn: float = 0.0
     max_depth: int = 0
+    rejected: int = 0
+    deferred: int = 0
+    ewma_depth: float = 0.0
     _finishes: deque = field(default_factory=deque)
 
     def admit(self, arrival: float, service: float) -> tuple[float, float, int]:
@@ -171,11 +187,62 @@ class NodeQueue:
         self.total_wait += start - arrival
         self.total_sojourn += finish - arrival
         self.max_depth = max(self.max_depth, depth + 1)
+        self.ewma_depth += self.EWMA_ALPHA * ((depth + 1) - self.ewma_depth)
         return start, finish, depth
+
+    def offer(
+        self,
+        arrival: float,
+        service: float,
+        policy: "AdmissionPolicy | None" = None,
+        parked: bool = False,
+    ) -> tuple[str, float, float, int]:
+        """The admission gate in front of :meth:`admit`.
+
+        Consults ``policy`` with the queue state the arriving job would see
+        (depth and backlog); on ``accept`` the job is admitted exactly as by
+        :meth:`admit` and ``("accept", start, finish, depth)`` is returned.
+        On ``reject``/``defer`` *nothing is admitted* — the queue state is
+        untouched apart from the shed counters — and start/finish echo the
+        arrival instant.  With ``policy=None`` every offer accepts, so the
+        admission layer is invisible unless explicitly configured.
+
+        ``parked=True`` marks the re-offer of a job already parked at this
+        peer: a parked job can only wait longer or get in, so any decline is
+        returned (and counted) as a deferral — one message therefore counts
+        at most one rejection, however many park rounds follow.
+        """
+        if policy is not None:
+            depth = self.depth_at(arrival)
+            verdict = policy.decide(depth, self.backlog(arrival), service)
+            if verdict != ACCEPT:
+                if parked or verdict == DEFER:
+                    self.deferred += 1
+                    return DEFER, arrival, arrival, depth
+                self.rejected += 1
+                return verdict, arrival, arrival, depth
+        start, finish, depth = self.admit(arrival, service)
+        return ACCEPT, start, finish, depth
 
     def backlog(self, now: float) -> float:
         """Seconds of admitted work still ahead of a job arriving ``now``."""
         return max(0.0, self.busy_until - now)
+
+    def depth_at(self, now: float) -> int:
+        """Jobs in the system (queued or in service) at instant ``now``."""
+        while self._finishes and self._finishes[0] <= now:
+            self._finishes.popleft()
+        return len(self._finishes)
+
+    def advertised_depth(self, now: float) -> float:
+        """The depth this peer piggybacks on outgoing messages.
+
+        ``min(EWMA, instantaneous)``: smoothed against one-delivery spikes
+        but never *overstating* the current backlog — the conservative half
+        of the hint-staleness invariant (a hint is always <= the subject's
+        true peak depth since the piggyback).
+        """
+        return min(self.ewma_depth, float(self.depth_at(now)))
 
 
 class LoadModel:
@@ -193,8 +260,15 @@ class LoadModel:
         profile: ServiceProfile | None = None,
         speeds: dict[str, float] | float = 1.0,
         record_samples: bool = True,
+        admission: "AdmissionPolicy | dict[str, AdmissionPolicy] | None" = None,
     ):
         self.profile = profile or ZERO_PROFILE
+        if isinstance(admission, dict):
+            self._admission_default: AdmissionPolicy | None = None
+            self._admission_by_node = dict(admission)
+        else:
+            self._admission_default = admission
+            self._admission_by_node = {}
         if isinstance(speeds, (int, float)):
             if speeds <= 0:
                 raise ValueError("speed factor must be > 0")
@@ -228,6 +302,37 @@ class LoadModel:
         peers that never serviced anything stay out of the metrics)."""
         queue = self._queues.get(node_id)
         return queue.backlog(now) if queue is not None else 0.0
+
+    def queue_depth(self, node_id: str, now: float) -> int:
+        """Jobs in ``node_id``'s system at ``now`` (0 for untouched peers)."""
+        queue = self._queues.get(node_id)
+        return queue.depth_at(now) if queue is not None else 0
+
+    def advertised_depth(self, node_id: str, now: float) -> float:
+        """The smoothed depth ``node_id`` piggybacks on outgoing messages."""
+        queue = self._queues.get(node_id)
+        return queue.advertised_depth(now) if queue is not None else 0.0
+
+    def policy(self, node_id: str) -> "AdmissionPolicy | None":
+        """The admission policy governing ``node_id`` (None = accept all)."""
+        return self._admission_by_node.get(node_id, self._admission_default)
+
+    def offer(
+        self, node_id: str, arrival: float, kind: str, size: int = 1, parked: bool = False
+    ) -> tuple[str, float, float, int]:
+        """Offer one delivered message to ``node_id``'s admission gate.
+
+        Returns ``(verdict, start, finish, depth)``; only an ``"accept"``
+        verdict mutates the queue and records a sample (see
+        :meth:`NodeQueue.offer`, including the ``parked`` re-offer flag).
+        """
+        service = self.service_time(node_id, kind, size)
+        verdict, start, finish, depth = self.queue(node_id).offer(
+            arrival, service, self.policy(node_id), parked=parked
+        )
+        if verdict == "accept" and self.record_samples:
+            self.samples.append(ServiceSample(node_id, kind, size, arrival, start, finish))
+        return verdict, start, finish, depth
 
     def admit(
         self, node_id: str, arrival: float, kind: str, size: int = 1
@@ -272,6 +377,12 @@ class LoadModel:
                 "sojourn": round(queue.total_sojourn, 9),
                 "max_depth": queue.max_depth,
             }
+            # Shed counters appear only when shedding happened, so runs
+            # without an admission policy keep their historical snapshot.
+            if queue.rejected:
+                stats["rejected"] = queue.rejected
+            if queue.deferred:
+                stats["deferred"] = queue.deferred
             if horizon:
                 stats["utilization"] = round(queue.busy_time / horizon, 9)
             out[node_id] = stats

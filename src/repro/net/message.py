@@ -5,6 +5,15 @@ Messages are pure value objects; delivery semantics (latency, failure) live in
 abstract units (we use "number of triples / bindings carried" plus a constant
 header) — the byte counters in :class:`~repro.net.stats.NetworkStats` are in
 these units.
+
+Besides the payload, a message can carry piggybacked *metadata* that costs
+nothing extra to ship because it rides in the header: the event scheduler
+stamps every delivery with the sender's advertised queue depth when a
+:class:`~repro.load.shedding.HintRegistry` is attached (the ``hint`` field
+of :class:`~repro.net.scheduler.Delivery`), and routed data messages can
+carry freshly learned route-cache entries (``network.route_warming``).
+Metadata never influences delivery semantics — only the receiver's later
+decisions.
 """
 
 from __future__ import annotations

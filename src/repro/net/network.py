@@ -47,6 +47,11 @@ class Network:
         #: When True, routed messages piggyback the learned destination so
         #: transit peers warm their route caches (see repro.pgrid.routing).
         self.route_warming = False
+        #: Optional :class:`~repro.load.shedding.HintRegistry`.  When set,
+        #: event-scheduled messages piggyback the sender's queue depth and
+        #: hint-aware choices (diffusion, routing ties, reject retries) read
+        #: from it.  ``pnet.event_driven(..., hints=True)`` manages this.
+        self.hints = None
 
     # -- membership ---------------------------------------------------------
 

@@ -27,6 +27,29 @@ delay and service time flow into every downstream hop and completion time
 (latency = link + queue + service).  With no load model — or a zero-cost
 profile — finish equals arrival and the event sequence is byte-identical to
 the load-free scheduler.
+
+Two opt-in load-control layers ride on top (:mod:`repro.load.shedding`):
+
+* **admission control** — when the destination's
+  :class:`~repro.load.shedding.AdmissionPolicy` declines a delivered
+  message, the scheduler either *defers* it (re-offered after a penalty;
+  force-admitted after ``max_defers``, so deferred work is never lost) or
+  *rejects* it: a NACK message of kind ``"reject"`` travels back to the
+  sender — accounted like any other message — and the caller's
+  ``on_rejected`` callback fires at its arrival, typically to retry another
+  replica.  A reject with no ``on_rejected`` handler is parked (deferred)
+  instead, so plain data operations stay lossless.  Rejects and deferrals
+  are counted in :class:`~repro.net.stats.NetworkStats`.
+* **hint piggybacking** — with a
+  :class:`~repro.load.shedding.HintRegistry` attached, every message
+  (data, reply and NACK alike) is stamped with the sender's advertised
+  queue depth at departure, and the receiver records it in its hint table
+  at arrival.  Observation is passive — no extra events, messages or RNG
+  draws — so attaching a registry leaves the event sequence untouched
+  until some policy *consults* the hints.
+
+With ``admission=None`` and no registry both layers vanish and the event
+sequence is byte-identical to PR 4's scheduler (asserted by tests).
 """
 
 from __future__ import annotations
@@ -40,7 +63,11 @@ from repro.net.trace import Trace
 
 if TYPE_CHECKING:
     from repro.load.model import LoadModel
+    from repro.load.shedding import HintRegistry
     from repro.net.network import Network
+
+#: Message kind of the admission-control NACK sent back to a rejected sender.
+REJECT_KIND = "reject"
 
 #: Callback invoked with the delivery instant of a message or chain.
 Completion = Callable[[float], None]
@@ -54,13 +81,19 @@ ChainSpec = tuple[list[tuple[str, str]], str, int, Callable[[float], Sends]]
 
 @dataclass(frozen=True)
 class Delivery:
-    """One delivered message, as recorded in the scheduler's event log."""
+    """One delivered message, as recorded in the scheduler's event log.
+
+    ``hint`` is the piggybacked queue-depth metadata: the sender's
+    advertised depth at departure, or ``None`` when no hint registry is
+    attached — so hint-free logs compare equal to their historical shape.
+    """
 
     time: float
     src: str
     dst: str
     kind: str
     size: int
+    hint: float | None = None
 
 
 class EventScheduler:
@@ -86,6 +119,14 @@ class EventScheduler:
         self.log: list[Delivery] = []
 
     @property
+    def hints(self) -> "HintRegistry | None":
+        """The network-attached hint registry (single source of truth, so the
+        scheduler and routing — which only sees the network — always agree).
+        Attach one via ``pnet.event_driven(..., hints=True)`` or by setting
+        ``network.hints`` directly."""
+        return getattr(self.net, "hints", None)
+
+    @property
     def now(self) -> float:
         """Current simulated time."""
         return self.sim.now
@@ -98,6 +139,7 @@ class EventScheduler:
         kind: str,
         size: int = 1,
         on_delivered: Completion | None = None,
+        on_rejected: Completion | None = None,
     ) -> float:
         """Schedule one message departing ``src`` at ``time``; return arrival.
 
@@ -108,11 +150,19 @@ class EventScheduler:
         callback still goes through the simulator so completion ordering is
         uniform.
 
-        With a load model attached, the arrived message is admitted to the
+        With a load model attached, the arrived message is offered to the
         destination's work queue and ``on_delivered`` fires at its service
         *finish* instant rather than at arrival (local sends stay free — no
         message is processed).  The returned value remains the network
         arrival: queueing happens after it.
+
+        If the destination's admission policy *rejects* the message and
+        ``on_rejected`` is given, a NACK travels back to ``src`` and
+        ``on_rejected`` fires with its arrival instant (the caller retries
+        elsewhere); without a handler the rejected job is parked and
+        re-offered like a deferral, so it is never lost.  With a hint
+        registry attached, the message departs stamped with ``src``'s
+        advertised queue depth, observed by ``dst`` on arrival.
         """
         if src == dst:
             if on_delivered is not None:
@@ -126,15 +176,58 @@ class EventScheduler:
         latency = self.net.link_latency(src, dst)
         latency += self.net.latency_model.sample_jitter(self.net.rng)
         arrival = time + latency
+        # Piggybacked metadata is stamped at departure: the hint describes
+        # the sender's queue as the message leaves, not as it lands.
+        hint: float | None = None
+        if self.hints is not None and self.load is not None:
+            hint = self.load.advertised_depth(src, time)
 
         def deliver() -> None:
             self.net.stats.record(kind, size, at=arrival)
-            self.log.append(Delivery(arrival, src, dst, kind, size))
+            self.log.append(Delivery(arrival, src, dst, kind, size, hint))
+            if self.hints is not None and hint is not None:
+                self.hints.observe(dst, src, hint, arrival)
             if self.load is None:
                 if on_delivered is not None:
                     on_delivered(arrival)
                 return
-            start, finish, depth = self.load.admit(dst, arrival, kind, size)
+            self._offer(src, dst, arrival, kind, size, arrival, on_delivered, on_rejected, 0)
+
+        self.sim.schedule_at(arrival, deliver)
+        return arrival
+
+    def _offer(
+        self,
+        src: str,
+        dst: str,
+        at: float,
+        kind: str,
+        size: int,
+        arrival: float,
+        on_delivered: Completion | None,
+        on_rejected: Completion | None,
+        defers: int,
+    ) -> None:
+        """Offer a delivered message to ``dst``'s admission gate at ``at``.
+
+        ``arrival`` is the original network arrival (service stats measure
+        queueing delay from it, so park time stays visible); ``at`` advances
+        past it on each deferral, ``defers`` counting the park rounds so far.
+        The policy is always consulted on the first offer; a *parked* job is
+        force-admitted once its park rounds reach ``max(max_defers, 1)``, so
+        even ``max_defers=0`` sheds on first contact but can never strand a
+        job that had nowhere to bounce.
+        """
+        load = self.load
+        assert load is not None
+        policy = load.policy(dst)
+        if policy is not None and defers >= max(policy.max_defers, 1):
+            # Parked often enough: force-admit so parked work always drains.
+            start, finish, depth = load.admit(dst, at, kind, size)
+            verdict = "accept"
+        else:
+            verdict, start, finish, depth = load.offer(dst, at, kind, size, parked=defers > 0)
+        if verdict == "accept":
             self.net.stats.record_service(dst, start - arrival, finish - start, depth)
             if on_delivered is None:
                 return
@@ -144,9 +237,29 @@ class EventScheduler:
                 on_delivered(arrival)
             else:
                 self.sim.schedule_at(finish, lambda: on_delivered(finish))
-
-        self.sim.schedule_at(arrival, deliver)
-        return arrival
+            return
+        if verdict == "reject":  # only possible on the first, unparked offer
+            self.net.stats.record_reject(dst)
+            if on_rejected is not None:
+                try:
+                    # The NACK is a real, accounted message (it carries the
+                    # rejector's depth hint back to the sender).
+                    self.send_at(at, dst, src, REJECT_KIND, 1, on_delivered=on_rejected)
+                except NodeUnreachableError:
+                    # Sender churned away; fire the callback directly so the
+                    # operation's bookkeeping still completes.
+                    self.sim.schedule_at(at, lambda: on_rejected(at))
+                return
+            # Nobody to tell: park the job like a deferral so it is not lost.
+        else:
+            self.net.stats.record_defer(dst)
+        retry = at + policy.defer_penalty
+        self.sim.schedule_at(
+            retry,
+            lambda: self._offer(
+                src, dst, retry, kind, size, arrival, on_delivered, on_rejected, defers + 1
+            ),
+        )
 
     def chain(
         self,

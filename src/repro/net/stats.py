@@ -20,11 +20,14 @@ last delivery instants it saw, so a query frame reports its simulated span
 When a load model is attached (:mod:`repro.load.model`), every serviced
 message additionally reports its queueing delay and service time through
 :meth:`NetworkStats.record_service`, aggregated per peer into
-:class:`QueueLedger` entries.  :meth:`StatsFrame.snapshot` includes these
-queueing fields *only when a load model produced them* — trace-mode runs
-(and event-mode runs without a load model) keep their historical,
-byte-for-byte identical snapshot, so the E1–E11 result tables stay
-comparable with prior PRs.
+:class:`QueueLedger` entries; admission-control outcomes
+(:mod:`repro.load.shedding`) are counted per peer through
+:meth:`NetworkStats.record_reject` / :meth:`NetworkStats.record_defer`.
+:meth:`StatsFrame.snapshot` includes the queueing fields *only when a load
+model produced them* and the shed counters *only when something was shed*
+— trace-mode runs (and event-mode runs without a load model) keep their
+historical, byte-for-byte identical snapshot, so the E1–E11 result tables
+stay comparable with prior PRs.
 """
 
 from __future__ import annotations
@@ -62,6 +65,8 @@ class StatsFrame:
     first_time: float | None = None
     last_time: float | None = None
     queueing: dict[str, QueueLedger] = field(default_factory=dict)
+    rejects: Counter = field(default_factory=Counter)
+    deferrals: Counter = field(default_factory=Counter)
 
     def record(self, kind: str, size: int, at: float | None = None) -> None:
         self.messages += 1
@@ -93,18 +98,41 @@ class StatsFrame:
             ledger = self.queueing[node_id] = QueueLedger()
         ledger.record(wait, service, depth)
 
+    def record_reject(self, node_id: str) -> None:
+        """Count one admission-control rejection at ``node_id``."""
+        self.rejects[node_id] += 1
+
+    def record_defer(self, node_id: str) -> None:
+        """Count one admission-control deferral (park round) at ``node_id``."""
+        self.deferrals[node_id] += 1
+
+    @property
+    def total_rejects(self) -> int:
+        """Rejections across all peers in this frame."""
+        return sum(self.rejects.values())
+
+    @property
+    def total_deferrals(self) -> int:
+        """Deferrals across all peers in this frame."""
+        return sum(self.deferrals.values())
+
     def snapshot(self) -> dict:
         """Return a plain-dict summary (stable for logging/tests).
 
         Queueing fields appear only when a load model serviced messages in
-        this frame; without one the output is byte-for-byte what it was
-        before the load subsystem existed.
+        this frame, and shed counters only when admission control actually
+        rejected or deferred something; without either the output is
+        byte-for-byte what it was before those subsystems existed.
         """
         snap = {
             "messages": self.messages,
             "bytes": self.bytes,
             "by_kind": dict(self.by_kind),
         }
+        if self.rejects:
+            snap["rejects"] = dict(sorted(self.rejects.items()))
+        if self.deferrals:
+            snap["deferrals"] = dict(sorted(self.deferrals.items()))
         if self.queueing:
             snap["queueing"] = {
                 node_id: {
@@ -136,6 +164,18 @@ class NetworkStats:
         self.total.record_service(node_id, wait, service, depth)
         for frame in self._frames:
             frame.record_service(node_id, wait, service, depth)
+
+    def record_reject(self, node_id: str) -> None:
+        """Account one admission-control rejection in every frame."""
+        self.total.record_reject(node_id)
+        for frame in self._frames:
+            frame.record_reject(node_id)
+
+    def record_defer(self, node_id: str) -> None:
+        """Account one admission-control deferral in every frame."""
+        self.total.record_defer(node_id)
+        for frame in self._frames:
+            frame.record_defer(node_id)
 
     def push_frame(self) -> StatsFrame:
         frame = StatsFrame()

@@ -68,23 +68,37 @@ class PGridNetwork:
     # -- execution model -----------------------------------------------------
 
     def attach_scheduler(
-        self, simulator: EventSimulator | None = None, load=None
+        self, simulator: EventSimulator | None = None, load=None, hints=False
     ) -> EventScheduler:
         """Switch data operations to event-driven (simulated-time) execution.
 
         ``load`` (a :class:`~repro.load.model.LoadModel`) adds per-peer
-        service times and FIFO queueing on top of link latency.
+        service times and FIFO queueing on top of link latency; give it an
+        ``admission=`` policy and saturated peers shed work.  ``hints``
+        turns on queue-depth piggybacking: pass ``True`` for a fresh
+        :class:`~repro.load.shedding.HintRegistry` (or pass a configured
+        registry), attached to the network so routing, diffusion and reject
+        retries can consult it.  Returns the attached scheduler.
         """
+        if hints:
+            from repro.load.shedding import HintRegistry  # deferred: load imports pgrid
+
+            self.net.hints = hints if isinstance(hints, HintRegistry) else HintRegistry()
         self.scheduler = EventScheduler(self.net, simulator, load=load)
         return self.scheduler
 
     def detach_scheduler(self) -> None:
-        """Return to causal-trace execution (any pending events are dropped)."""
+        """Return to causal-trace execution (any pending events are dropped).
+
+        Also detaches the hint registry installed by :meth:`attach_scheduler`,
+        so trace-mode routing goes back to the historical uniform choice.
+        """
         self.scheduler = None
+        self.net.hints = None
 
     @contextmanager
     def event_driven(
-        self, simulator: EventSimulator | None = None, load=None
+        self, simulator: EventSimulator | None = None, load=None, hints=False
     ) -> Iterator[EventScheduler]:
         """Scope event-driven execution::
 
@@ -94,9 +108,11 @@ class PGridNetwork:
 
         With ``load=LoadModel(...)`` deliveries additionally queue for
         service at their destination peers, so the measured latency is
-        link + queueing + service.
+        link + queueing + service.  ``LoadModel(..., admission=policy)``
+        lets saturated peers reject or defer work, and ``hints=True``
+        attaches a queue-depth hint registry (see :meth:`attach_scheduler`).
         """
-        scheduler = self.attach_scheduler(simulator, load=load)
+        scheduler = self.attach_scheduler(simulator, load=load, hints=hints)
         try:
             yield scheduler
         finally:
@@ -120,20 +136,24 @@ class PGridNetwork:
     # -- membership ----------------------------------------------------------
 
     def add_peer(self, node_id: str, path: str = "") -> PGridPeer:
+        """Create, register and return a new peer at trie position ``path``."""
         peer = PGridPeer(node_id, self.net, path=path, fanout=self.fanout)
         self.peers.append(peer)
         return peer
 
     def peer(self, node_id: str) -> PGridPeer:
+        """The registered peer with ``node_id`` (raises if unknown or not a peer)."""
         node = self.net.node(node_id)
         if not isinstance(node, PGridPeer):
             raise TypeError(f"{node_id!r} is not a P-Grid peer")
         return node
 
     def online_peers(self) -> list[PGridPeer]:
+        """All currently online peers, in membership order."""
         return [p for p in self.peers if p.online]
 
     def random_online_peer(self, rng: random.Random | None = None) -> PGridPeer:
+        """A uniformly chosen online peer (the default gateway for operations)."""
         online = self.online_peers()
         if not online:
             raise RoutingError("no online peers in the overlay")
@@ -230,6 +250,8 @@ class PGridNetwork:
             rng=self.rng,
             load=self.scheduler.load if self.scheduler else None,
             now=self.scheduler.now if self.scheduler else 0.0,
+            hints=self.net.hints,
+            observer=start.node_id,
         )
         trace = account_hops(self.net, hops, kind, 1, self.scheduler)
         return destination.store.get(key), trace, destination
@@ -267,12 +289,16 @@ class PGridNetwork:
         return regions
 
     def _diffuse_regions(
-        self, regions: list[tuple[PGridPeer, list[str], list[tuple[str, str]]]]
+        self,
+        regions: list[tuple[PGridPeer, list[str], list[tuple[str, str]]]],
+        observer: str | None = None,
     ) -> list[tuple[PGridPeer, list[str], list[tuple[str, str]]]]:
         """Apply the read-diffusion policy to each region's last hop.
 
         Reads only: writes must keep landing on the routed destination (its
         replica pushes cover the group).  A "none" policy is the identity.
+        ``observer`` (the initiating peer) supplies the hint table a
+        ``least-busy`` policy ranks members by.
         """
         if self.replica_diffusion == "none":
             return regions
@@ -283,7 +309,14 @@ class PGridNetwork:
         diffused = []
         for destination, region_keys, hops in regions:
             destination, hops = diffuse_route(
-                destination, hops, policy=self.replica_diffusion, rng=self.rng, load=load, now=now
+                destination,
+                hops,
+                policy=self.replica_diffusion,
+                rng=self.rng,
+                load=load,
+                now=now,
+                hints=self.net.hints,
+                observer=observer,
             )
             diffused.append((destination, region_keys, hops))
         return diffused
@@ -401,7 +434,7 @@ class PGridNetwork:
         if not unique:
             return {}, Trace.ZERO
         regions = self._route_regions(unique, start, kind)
-        regions = self._diffuse_regions(regions)
+        regions = self._diffuse_regions(regions, observer=start.node_id)
         results: dict[str, list[Entry]] = {}
         if self.scheduler is not None:
             trace = self._lookup_regions_event(regions, results, start, kind)
@@ -503,6 +536,7 @@ class PGridNetwork:
         return dict(groups)
 
     def trie_paths(self) -> list[str]:
+        """Sorted distinct leaf paths of the current trie."""
         return sorted(self.leaf_groups())
 
     def is_complete(self) -> bool:
@@ -514,6 +548,7 @@ class PGridNetwork:
         return [p for p in self.peers if responsible(p.path, key)]
 
     def peers_with_prefix(self, prefix: str) -> list[PGridPeer]:
+        """All peers whose path starts with ``prefix`` (global view)."""
         return [p for p in self.peers if p.path.startswith(prefix)]
 
     def load_by_peer(self) -> dict[str, int]:

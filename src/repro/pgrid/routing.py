@@ -28,8 +28,19 @@ operations in :mod:`repro.pgrid.network`:
   cache is consulted too (a warm intermediate short-circuits the rest of
   the route).  Repeat lookups from a second peer whose route crosses warmed
   peers therefore take fewer hops without ever having routed the key
-  themselves — the minimal version of the ROADMAP's route-cache
-  anti-entropy item.
+  themselves.  This shipped in PR 4 as the warming half of the ROADMAP's
+  route-cache anti-entropy item; only the gossip-round (proactive)
+  propagation half is still open.
+
+* **hint-aware reference choice** (opt-in: attach a
+  :class:`~repro.load.shedding.HintRegistry` to the network, e.g. via
+  ``pnet.event_driven(load=..., hints=True)``) — when several references
+  (or replica detours) make equal routing progress, the current peer
+  prefers the candidate it has heard the smallest piggybacked queue-depth
+  hint from, steering traffic away from saturated peers using only
+  information a real peer possesses.  With no registry attached — or no
+  hints heard yet — the choice is the historical uniform ``rng.choice``,
+  consuming the same RNG draws: hint-free runs stay byte-identical.
 
 * **deferred accounting** — :func:`route_hops` discovers the hop sequence
   without sending anything, so bulk operations can group keys by destination
@@ -170,6 +181,22 @@ def _cached_destination(start: PGridPeer, key: str) -> PGridPeer | None:
     return None
 
 
+def _pick_ref(current: PGridPeer, candidates: list[str], rng: random.Random) -> str:
+    """Choose among references (or detours) that make equal progress.
+
+    With a hint registry on the network the current peer prefers the
+    candidate with the smallest last-heard queue-depth hint; otherwise (and
+    on all-unknown ties, where every hint reads 0.0) this is exactly the
+    historical ``rng.choice(candidates)`` — same draw, same pick.
+    """
+    registry = getattr(current.network, "hints", None)
+    if registry is None or len(candidates) == 1:
+        return rng.choice(candidates)
+    from repro.load.shedding import pick_least_hinted  # deferred: load imports pgrid
+
+    return pick_least_hinted(candidates, current.node_id, registry, rng)
+
+
 def route_hops(
     start: PGridPeer,
     key: str,
@@ -215,7 +242,7 @@ def route_hops(
         level = common_prefix_length(current.path, key)
         candidates = current.valid_refs(level)
         if candidates:
-            next_id = rng.choice(candidates)
+            next_id = _pick_ref(current, candidates, rng)
             hops.append((current.node_id, next_id))
             current = current.network.nodes[next_id]
             continue
@@ -234,7 +261,7 @@ def route_hops(
             )
             error.hops = hops
             raise error
-        next_id = rng.choice(detours)
+        next_id = _pick_ref(current, detours, rng)
         hops.append((current.node_id, next_id))
         current = current.network.nodes[next_id]
 

@@ -28,5 +28,6 @@ def test_examples_exist():
         "conference_browser.py",
         "heterogeneous_integration.py",
         "planetlab_demo.py",
+        "overload_demo.py",
     }
     assert expected <= names
